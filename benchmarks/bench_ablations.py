@@ -1,0 +1,66 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+The paper's algorithm has four optimisation ingredients on top of the plain
+pair-merging basis extraction: null-space (Boolean) merging, GF(2) linear
+dependence minimisation, local size reduction, and identity-based basis
+reduction.  These benchmarks measure what each ingredient buys on the
+circuits where the paper says it matters.
+"""
+
+import pytest
+
+from repro.benchcircuits import majority_spec
+from repro.core import DecompositionOptions, decomposition_to_netlist, progressive_decomposition
+from repro.synth import synthesize_netlist
+
+
+def _pd_area_delay(spec, options, library):
+    decomposition = progressive_decomposition(spec.outputs, options, input_words=spec.input_words)
+    assert decomposition.verify()
+    netlist = decomposition_to_netlist(decomposition, library=library, objective="balanced")
+    result = synthesize_netlist(netlist, library)
+    return decomposition, result
+
+
+def test_ablation_identities_enable_counter_discovery(benchmark, library):
+    """Without identity reduction the majority basis keeps the redundant e3 block."""
+    spec = majority_spec(15)
+    decomposition, _ = benchmark(
+        _pd_area_delay, spec, DecompositionOptions(use_identities=True), library
+    )
+    baseline, _ = _pd_area_delay(spec, DecompositionOptions(use_identities=False), library)
+    with_level1 = len(decomposition.blocks_at_level(1))
+    without_level1 = len(baseline.blocks_at_level(1))
+    # With identities the first 4-bit group needs only the 4:3 counter outputs
+    # (e1, e2, e4); without them the redundant e3 block is also built.
+    assert with_level1 <= 3
+    assert with_level1 < without_level1
+    identity_texts = [
+        identity.description
+        for record in decomposition.iterations
+        for identity in record.identities_found
+    ]
+    assert any("t1_0*t1_1" in text for text in identity_texts)
+
+
+def test_ablation_size_reduction_stays_correct_and_bounded(benchmark, library):
+    """Size reduction is a greedy local heuristic: it must stay exact and must
+    not blow the hierarchy up (the paper applies it unconditionally)."""
+    spec = majority_spec(9)
+    decomposition, with_result = benchmark(
+        _pd_area_delay, spec, DecompositionOptions(use_size_reduction=True), library
+    )
+    baseline, without_result = _pd_area_delay(
+        spec, DecompositionOptions(use_size_reduction=False), library
+    )
+    assert decomposition.verify() and baseline.verify()
+    assert decomposition.total_block_literals() <= baseline.total_block_literals() * 1.5
+    assert with_result.delay <= without_result.delay * 1.5
+
+
+def test_ablation_group_size(benchmark, library):
+    """k = 4 (the paper's choice) versus k = 2: bigger groups give fewer levels."""
+    spec = majority_spec(9)
+    decomposition_k4, _ = benchmark(_pd_area_delay, spec, DecompositionOptions(k=4), library)
+    decomposition_k2, _ = _pd_area_delay(spec, DecompositionOptions(k=2), library)
+    assert decomposition_k4.num_levels <= decomposition_k2.num_levels

@@ -1,0 +1,29 @@
+"""Benchmarks regenerating the paper's figures (F1/F2, F3/F4, F6 in DESIGN.md)."""
+
+import pytest
+
+from repro.eval import figure1_vs_figure2, figure4_online_hierarchy, figure6_majority7_trace
+
+
+def test_f1_f2_lzd_structure(benchmark):
+    """Figures 1 vs 2: the hierarchical LZD has far lower fan-in/interconnect."""
+    result = benchmark(figure1_vs_figure2, 16)
+    assert result.oklobdzija.max_fanin < result.flat.max_fanin
+    assert result.progressive.max_fanin < result.flat.max_fanin
+    assert result.progressive.max_fanin <= 6
+    assert result.decomposition.verify()
+
+
+def test_f3_f4_online_hierarchy(benchmark):
+    """Figures 3/4: the online-algorithm hierarchy has logarithmic depth."""
+    result = benchmark(figure4_online_hierarchy, 16, 1)
+    assert result.hierarchical_depth < result.serial_depth
+    assert result.hierarchical_delay < result.serial_delay
+
+
+def test_f6_majority7_trace(benchmark):
+    """Figure 6: PD discovers the 4:3 and 3:2 counters inside the 7-bit majority."""
+    result = benchmark(figure6_majority7_trace)
+    assert len(result.counter_blocks_level1) == 3
+    assert any("= 0" in text or "*" in text for text in result.identities)
+    assert result.decomposition.num_levels >= 3

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one row of the paper's Table 1 (or one figure)
+and asserts the qualitative "shape" claims — who wins and in which metric —
+while pytest-benchmark records the runtime of the Progressive Decomposition
+flow itself.  Widths are kept at the "quick" settings so the whole harness
+runs in a few minutes; the full-width table is produced by
+``python -m examples.reproduce_table1`` (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.synth import default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()

@@ -1,0 +1,41 @@
+"""The 15-bit majority function: Progressive Decomposition finds the hidden
+parallel counters (paper section 6 and Figure 6).
+
+Run with::
+
+    python examples/majority_hidden_counters.py [width]
+"""
+
+import sys
+
+from repro.benchcircuits import majority_spec
+from repro.core import hierarchy_stats, progressive_decomposition
+from repro.eval import run_baseline_flow, run_progressive_flow
+
+
+def main(width: int = 15) -> None:
+    spec = majority_spec(width)
+    expr = spec.outputs["maj"]
+    print(f"{width}-input majority: {expr.num_terms} Reed-Muller monomials of degree {expr.degree}")
+
+    decomposition = progressive_decomposition(spec.outputs, input_words=spec.input_words)
+    assert decomposition.verify()
+    stats = hierarchy_stats(decomposition)
+    print(f"\ndiscovered hierarchy: {stats.num_blocks} blocks over {stats.num_levels} levels")
+    print("\nfirst-level blocks (the hidden 4-bit counter outputs):")
+    for block in decomposition.blocks_at_level(1):
+        print(f"  {block.name} = {block.definition.to_str()}")
+    print("\nidentities the algorithm found along the way:")
+    for record in decomposition.iterations[:3]:
+        for identity in record.identities_found:
+            print(f"  {identity.description}")
+
+    print("\nsynthesis comparison (counting then comparing beats the flat description):")
+    baseline = run_baseline_flow(spec.outputs, "Unoptimised (SOP)")
+    progressive = run_progressive_flow(spec.outputs, spec.input_words, "Progressive Decomposition")
+    for flow in (baseline, progressive):
+        print(f"  {flow.label:<28} area={flow.area:8.1f} um2   delay={flow.delay:.3f} ns")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

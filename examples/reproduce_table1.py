@@ -1,0 +1,30 @@
+"""Regenerate the paper's Table 1 end to end.
+
+Run with::
+
+    python examples/reproduce_table1.py           # full widths (a few minutes)
+    python examples/reproduce_table1.py --quick   # reduced widths (< 1 minute)
+
+The measured numbers (and the paper's reference values) are also recorded in
+EXPERIMENTS.md.
+"""
+
+import sys
+
+from repro.eval import build_table1, format_table1
+
+
+def main(quick: bool = False) -> None:
+    rows = build_table1(quick=quick)
+    print(format_table1(rows))
+    print("qualitative shape checks:")
+    for row in rows:
+        pd = row.progressive()
+        unopt = row.unoptimised()
+        direction = "faster" if pd.delay < unopt.delay else "not faster"
+        print(f"  {row.circuit:<32} PD is {direction} than the unoptimised description "
+              f"({pd.delay:.3f} ns vs {unopt.delay:.3f} ns)")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

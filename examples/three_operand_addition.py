@@ -1,0 +1,44 @@
+"""Three-operand addition: Progressive Decomposition versus the alternatives
+(paper Table 1, "12-bit Three-Input Adder").
+
+The flat description of ``A + B + C`` defeats algebraic restructuring, while
+Progressive Decomposition recovers a carry-save-like organisation close to
+the manual CSA + adder design.
+
+Run with::
+
+    python examples/three_operand_addition.py [width]
+"""
+
+import sys
+
+from repro.benchcircuits import cascaded_rca_netlist, csa_adder_netlist, three_input_adder_spec
+from repro.eval import run_baseline_flow, run_progressive_flow, run_structural_flow
+
+
+def main(width: int = 8) -> None:
+    spec = three_input_adder_spec(width)
+    total_terms = sum(e.num_terms for e in spec.outputs.values())
+    print(f"{width}-bit three-input adder: {total_terms} Reed-Muller monomials over "
+          f"{3 * width} inputs")
+
+    flows = [
+        run_baseline_flow(spec.outputs, "Unoptimised (A + B + C)"),
+        run_structural_flow(cascaded_rca_netlist(width), "RCA(RCA(A, B), C)"),
+        run_progressive_flow(spec.outputs, spec.input_words, "Progressive Decomposition"),
+        run_structural_flow(csa_adder_netlist(width), "CSA + Adder"),
+    ]
+    print(f"\n{'implementation':<28} {'area (um2)':>12} {'delay (ns)':>12}")
+    for flow in flows:
+        print(f"{flow.label:<28} {flow.area:>12.1f} {flow.delay:>12.3f}")
+
+    progressive = flows[2]
+    assert progressive.decomposition is not None
+    print("\nfirst-level blocks produced by Progressive Decomposition "
+          "(generate/propagate-style leader expressions):")
+    for block in progressive.decomposition.blocks_at_level(1):
+        print(f"  {block.name} = {block.definition.to_str()}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,6 @@
+"""Setuptools shim (kept so editable installs work in offline environments
+that lack the ``wheel`` package required by PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

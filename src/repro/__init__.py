@@ -1,0 +1,34 @@
+"""Progressive Decomposition (DAC 2007) — full Python reproduction.
+
+Public surface:
+
+* :mod:`repro.anf` — Reed-Muller (Boolean ring) expression engine;
+* :mod:`repro.gf2` — exact GF(2) linear algebra;
+* :mod:`repro.circuit` — gate-level netlists, simulation, equivalence;
+* :mod:`repro.synth` — cell library, structuring, mapping, timing (the
+  Design Compiler substitute);
+* :mod:`repro.factor` — classical algebraic factorisation baseline;
+* :mod:`repro.core` — the Progressive Decomposition algorithm itself;
+* :mod:`repro.benchcircuits` — the paper's benchmark circuits;
+* :mod:`repro.online` — hierarchies from online algorithms (Theorem 1);
+* :mod:`repro.eval` — Table 1 and figure reproduction harness.
+"""
+
+from .anf import Anf, Context, Word
+from .core import Decomposition, DecompositionOptions, progressive_decomposition
+from .synth import default_library, synthesize_expressions, synthesize_netlist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anf",
+    "Context",
+    "Decomposition",
+    "DecompositionOptions",
+    "Word",
+    "__version__",
+    "default_library",
+    "progressive_decomposition",
+    "synthesize_expressions",
+    "synthesize_netlist",
+]

@@ -1,0 +1,68 @@
+"""Reed-Muller (Boolean ring) expression engine.
+
+This package is the symbolic substrate of the reproduction: canonical
+XOR-of-products expressions (:class:`Anf`), SOP cube lists, truth tables,
+symbolic bit-vectors (:class:`Word`) and a small infix parser.
+"""
+
+from .builders import (
+    and_all,
+    elementary_symmetric,
+    equivalent,
+    false,
+    full_adder,
+    half_adder,
+    implies,
+    majority,
+    mux,
+    not_,
+    or_all,
+    parity,
+    threshold,
+    true,
+    var,
+    variables,
+    xor_all,
+)
+from .context import Context, ContextError
+from .expression import Anf, anf_or, anf_product, anf_xor, build_from_function
+from .parser import ParseError, parse
+from .sop import Cube, Sop, anf_to_sop
+from .truthtable import TruthTable
+from .word import Word, carry_save_reduce, popcount_word
+
+__all__ = [
+    "Anf",
+    "Context",
+    "ContextError",
+    "Cube",
+    "ParseError",
+    "Sop",
+    "TruthTable",
+    "Word",
+    "and_all",
+    "anf_or",
+    "anf_product",
+    "anf_to_sop",
+    "anf_xor",
+    "build_from_function",
+    "carry_save_reduce",
+    "elementary_symmetric",
+    "equivalent",
+    "false",
+    "full_adder",
+    "half_adder",
+    "implies",
+    "majority",
+    "mux",
+    "not_",
+    "or_all",
+    "parity",
+    "parse",
+    "popcount_word",
+    "threshold",
+    "true",
+    "var",
+    "variables",
+    "xor_all",
+]

@@ -1,0 +1,490 @@
+"""Reed-Muller (algebraic normal form) expressions over a Boolean ring.
+
+An :class:`Anf` is an XOR of product terms (monomials) over the variables of a
+:class:`~repro.anf.context.Context`.  Each monomial is stored as an integer
+bitmask (bit *i* set means the variable with index *i* appears in the
+product); the empty monomial (mask ``0``) is the constant ``1``.
+
+The representation is canonical: two expressions denote the same Boolean
+function if and only if their monomial sets are equal.  This is the property
+the paper relies on ("the Reed-Muller form of an expression is unique, hence
+the output of our algorithm is independent of the input description").
+
+Operators:
+
+``a ^ b``
+    XOR (ring addition).
+``a & b``
+    AND (ring multiplication).
+``a | b``
+    Boolean OR, computed as ``a ⊕ b ⊕ ab``.
+``~a``
+    Complement, computed as ``1 ⊕ a``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping
+
+from .context import Context, ContextError
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+class Anf:
+    """An immutable Boolean-ring (XOR-of-products) expression."""
+
+    __slots__ = ("_ctx", "_terms", "_hash")
+
+    def __init__(self, ctx: Context, terms: Iterable[int] = ()) -> None:
+        """Build an expression from monomial bitmasks.
+
+        Duplicate monomials cancel in pairs (mod-2 collection), matching the
+        ring semantics.
+        """
+        if not isinstance(ctx, Context):
+            raise TypeError("ctx must be a Context")
+        collected: set[int] = set()
+        for mask in terms:
+            if mask < 0:
+                raise ValueError("monomial masks must be non-negative integers")
+            if mask in collected:
+                collected.discard(mask)
+            else:
+                collected.add(mask)
+        self._ctx = ctx
+        self._terms: FrozenSet[int] = frozenset(collected)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def _raw(cls, ctx: Context, terms: FrozenSet[int]) -> "Anf":
+        """Internal constructor that trusts ``terms`` to already be reduced."""
+        expr = object.__new__(cls)
+        expr._ctx = ctx
+        expr._terms = terms
+        expr._hash = None
+        return expr
+
+    @classmethod
+    def zero(cls, ctx: Context) -> "Anf":
+        """The constant ``0``."""
+        return cls._raw(ctx, frozenset())
+
+    @classmethod
+    def one(cls, ctx: Context) -> "Anf":
+        """The constant ``1``."""
+        return cls._raw(ctx, frozenset({0}))
+
+    @classmethod
+    def constant(cls, ctx: Context, value: int | bool) -> "Anf":
+        """The constant ``0`` or ``1``."""
+        return cls.one(ctx) if value else cls.zero(ctx)
+
+    @classmethod
+    def var(cls, ctx: Context, name: str) -> "Anf":
+        """The single variable ``name`` (declared in ``ctx`` if new)."""
+        index = ctx.add_var(name)
+        return cls._raw(ctx, frozenset({1 << index}))
+
+    @classmethod
+    def monomial(cls, ctx: Context, names: Iterable[str]) -> "Anf":
+        """A single product term over the given variables (``1`` if empty)."""
+        mask = 0
+        for name in names:
+            mask |= 1 << ctx.add_var(name)
+        return cls._raw(ctx, frozenset({mask}))
+
+    @classmethod
+    def from_monomial_names(cls, ctx: Context, monomials: Iterable[Iterable[str]]) -> "Anf":
+        """XOR of product terms, each given as an iterable of variable names."""
+        terms = []
+        for names in monomials:
+            mask = 0
+            for name in names:
+                mask |= 1 << ctx.add_var(name)
+            terms.append(mask)
+        return cls(ctx, terms)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def ctx(self) -> Context:
+        """The variable context this expression belongs to."""
+        return self._ctx
+
+    @property
+    def terms(self) -> FrozenSet[int]:
+        """The monomial bitmasks (frozen, canonical)."""
+        return self._terms
+
+    @property
+    def num_terms(self) -> int:
+        """Number of monomials in the Reed-Muller form."""
+        return len(self._terms)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def is_one(self) -> bool:
+        return self._terms == frozenset({0})
+
+    @property
+    def is_constant(self) -> bool:
+        return self.is_zero or self.is_one
+
+    @property
+    def is_literal(self) -> bool:
+        """True when the expression is exactly one variable."""
+        if len(self._terms) != 1:
+            return False
+        (mask,) = self._terms
+        return mask != 0 and (mask & (mask - 1)) == 0
+
+    @property
+    def literal_name(self) -> str:
+        """The variable name when :attr:`is_literal`, otherwise an error."""
+        if not self.is_literal:
+            raise ValueError("expression is not a single literal")
+        (mask,) = self._terms
+        return self._ctx.name(mask.bit_length() - 1)
+
+    @property
+    def support_mask(self) -> int:
+        """Bitmask of every variable appearing in the expression."""
+        mask = 0
+        for term in self._terms:
+            mask |= term
+        return mask
+
+    @property
+    def support(self) -> tuple[str, ...]:
+        """Names of the variables appearing in the expression."""
+        return self._ctx.names_of(self.support_mask)
+
+    @property
+    def degree(self) -> int:
+        """Largest monomial size (0 for constants)."""
+        if not self._terms:
+            return 0
+        return max(_popcount(mask) for mask in self._terms)
+
+    @property
+    def literal_count(self) -> int:
+        """Total number of literal occurrences (the paper's size metric)."""
+        return sum(_popcount(mask) for mask in self._terms)
+
+    def depends_on(self, name: str) -> bool:
+        """True when the variable ``name`` appears in some monomial."""
+        if name not in self._ctx:
+            return False
+        bit = 1 << self._ctx.index(name)
+        return any(term & bit for term in self._terms)
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+    def _check(self, other: "Anf") -> None:
+        if not isinstance(other, Anf):
+            raise TypeError(f"expected Anf, got {type(other).__name__}")
+        self._ctx.require_same(other._ctx)
+
+    def __xor__(self, other: "Anf") -> "Anf":
+        self._check(other)
+        return Anf._raw(self._ctx, self._terms.symmetric_difference(other._terms))
+
+    def __and__(self, other: "Anf") -> "Anf":
+        self._check(other)
+        if self.is_zero or other.is_zero:
+            return Anf.zero(self._ctx)
+        if self.is_one:
+            return other
+        if other.is_one:
+            return self
+        # Multiply the smaller operand into the larger one.
+        small, large = (self._terms, other._terms)
+        if len(small) > len(large):
+            small, large = large, small
+        acc: set[int] = set()
+        for left in small:
+            for right in large:
+                product = left | right
+                if product in acc:
+                    acc.discard(product)
+                else:
+                    acc.add(product)
+        return Anf._raw(self._ctx, frozenset(acc))
+
+    def __or__(self, other: "Anf") -> "Anf":
+        self._check(other)
+        return self ^ other ^ (self & other)
+
+    def __invert__(self) -> "Anf":
+        return Anf._raw(self._ctx, self._terms.symmetric_difference({0}))
+
+    def __bool__(self) -> bool:
+        return not self.is_zero
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Anf):
+            return NotImplemented
+        return self._ctx is other._ctx and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((id(self._ctx), self._terms))
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Evaluation and substitution
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int | bool]) -> int:
+        """Evaluate under a full assignment of the expression's support.
+
+        Variables outside the support may be omitted; support variables must
+        all be present.
+        """
+        ones_mask = 0
+        known_mask = 0
+        for name, value in assignment.items():
+            if name not in self._ctx:
+                continue
+            bit = 1 << self._ctx.index(name)
+            known_mask |= bit
+            if value:
+                ones_mask |= bit
+        missing = self.support_mask & ~known_mask
+        if missing:
+            names = self._ctx.names_of(missing)
+            raise ValueError(f"assignment is missing variables: {', '.join(names)}")
+        result = 0
+        for term in self._terms:
+            if term & ones_mask == term:
+                result ^= 1
+        return result
+
+    def evaluate_mask(self, ones_mask: int) -> int:
+        """Evaluate with variable values given as a bitmask of true variables."""
+        result = 0
+        for term in self._terms:
+            if term & ones_mask == term:
+                result ^= 1
+        return result
+
+    def substitute(self, mapping: Mapping[str, "Anf"]) -> "Anf":
+        """Replace variables by expressions (simultaneously).
+
+        Variables not present in ``mapping`` are left unchanged.  All
+        replacement expressions must belong to the same context.
+        """
+        if not mapping:
+            return self
+        replace: Dict[int, Anf] = {}
+        for name, expr in mapping.items():
+            if not isinstance(expr, Anf):
+                raise TypeError(f"replacement for {name!r} must be an Anf")
+            self._ctx.require_same(expr._ctx)
+            if name in self._ctx:
+                replace[self._ctx.index(name)] = expr
+        if not replace:
+            return self
+        replace_mask = 0
+        for index in replace:
+            replace_mask |= 1 << index
+
+        cache: Dict[int, Anf] = {}
+
+        def substituted_monomial(term: int) -> Anf:
+            cached = cache.get(term)
+            if cached is not None:
+                return cached
+            untouched = term & ~replace_mask
+            result = Anf._raw(self._ctx, frozenset({untouched}))
+            touched = term & replace_mask
+            index = 0
+            while touched:
+                if touched & 1:
+                    result = result & replace[index]
+                    if result.is_zero:
+                        break
+                touched >>= 1
+                index += 1
+            cache[term] = result
+            return result
+
+        total = Anf.zero(self._ctx)
+        for term in self._terms:
+            total = total ^ substituted_monomial(term)
+        return total
+
+    def cofactor(self, name: str, value: int | bool) -> "Anf":
+        """Shannon cofactor: the expression with ``name`` fixed to ``value``."""
+        if name not in self._ctx:
+            return self
+        bit = 1 << self._ctx.index(name)
+        acc: set[int] = set()
+        if value:
+            for term in self._terms:
+                reduced = term & ~bit
+                if reduced in acc:
+                    acc.discard(reduced)
+                else:
+                    acc.add(reduced)
+        else:
+            for term in self._terms:
+                if term & bit:
+                    continue
+                if term in acc:
+                    acc.discard(term)
+                else:
+                    acc.add(term)
+        return Anf._raw(self._ctx, frozenset(acc))
+
+    def derivative(self, name: str) -> "Anf":
+        """Boolean derivative d/d(name) = f|name=1 ⊕ f|name=0."""
+        return self.cofactor(name, 1) ^ self.cofactor(name, 0)
+
+    # ------------------------------------------------------------------
+    # Structure helpers used by the decomposition engine
+    # ------------------------------------------------------------------
+    def split_by_group(self, group_mask: int) -> tuple[dict[int, "Anf"], "Anf"]:
+        """Partition the expression by the group-variable part of each monomial.
+
+        Returns ``(bucket, remainder)`` where ``bucket[g]`` is the XOR of the
+        non-group parts of all monomials whose group part equals ``g`` (with
+        ``g != 0``), and ``remainder`` collects the monomials containing no
+        group variable at all.  The expression equals
+        ``XOR_g (g & bucket[g]) ^ remainder``.
+        """
+        buckets: dict[int, set[int]] = {}
+        remainder: set[int] = set()
+        for term in self._terms:
+            group_part = term & group_mask
+            rest_part = term & ~group_mask
+            if group_part == 0:
+                if rest_part in remainder:
+                    remainder.discard(rest_part)
+                else:
+                    remainder.add(rest_part)
+            else:
+                bucket = buckets.setdefault(group_part, set())
+                if rest_part in bucket:
+                    bucket.discard(rest_part)
+                else:
+                    bucket.add(rest_part)
+        result = {
+            group_part: Anf._raw(self._ctx, frozenset(rest))
+            for group_part, rest in buckets.items()
+            if rest
+        }
+        return result, Anf._raw(self._ctx, frozenset(remainder))
+
+    def restricted_to(self, mask: int) -> bool:
+        """True when every monomial only uses variables inside ``mask``."""
+        return all(term & ~mask == 0 for term in self._terms)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def sorted_terms(self) -> list[int]:
+        """Monomials sorted by (size, variable indices) for stable printing."""
+        return sorted(self._terms, key=lambda mask: (_popcount(mask), mask))
+
+    def to_str(self, xor_symbol: str = " ^ ", and_symbol: str = "*") -> str:
+        """Readable rendering, e.g. ``a ^ b*c ^ 1``."""
+        if self.is_zero:
+            return "0"
+        parts = []
+        for mask in self.sorted_terms():
+            if mask == 0:
+                parts.append("1")
+            else:
+                parts.append(and_symbol.join(self._ctx.names_of(mask)))
+        return xor_symbol.join(parts)
+
+    def __str__(self) -> str:
+        return self.to_str()
+
+    def __repr__(self) -> str:
+        text = self.to_str()
+        if len(text) > 120:
+            text = f"<{self.num_terms} terms over {len(self.support)} vars>"
+        return f"Anf({text})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+
+def anf_product(exprs: Iterable[Anf], ctx: Context) -> Anf:
+    """AND together a sequence of expressions (``1`` for an empty sequence)."""
+    result = Anf.one(ctx)
+    for expr in exprs:
+        result = result & expr
+        if result.is_zero:
+            break
+    return result
+
+
+def anf_xor(exprs: Iterable[Anf], ctx: Context) -> Anf:
+    """XOR together a sequence of expressions (``0`` for an empty sequence)."""
+    result = Anf.zero(ctx)
+    for expr in exprs:
+        result = result ^ expr
+    return result
+
+
+def anf_or(exprs: Iterable[Anf], ctx: Context) -> Anf:
+    """OR together a sequence of expressions (``0`` for an empty sequence)."""
+    result = Anf.zero(ctx)
+    for expr in exprs:
+        result = result | expr
+    return result
+
+
+def build_from_function(
+    ctx: Context, names: list[str], function: Callable[[tuple[int, ...]], int | bool]
+) -> Anf:
+    """Build the ANF of an arbitrary Boolean function by Moebius transform.
+
+    ``function`` receives a tuple of 0/1 values ordered like ``names`` and
+    must return the function value.  Exponential in ``len(names)``; intended
+    for specifications of at most ~20 variables.
+    """
+    n = len(names)
+    if n > 24:
+        raise ValueError("build_from_function is exponential; refusing more than 24 variables")
+    size = 1 << n
+    values = bytearray(size)
+    for point in range(size):
+        bits = tuple((point >> i) & 1 for i in range(n))
+        values[point] = 1 if function(bits) else 0
+    # In-place Moebius (zeta) transform over GF(2).
+    step = 1
+    while step < size:
+        for block in range(0, size, step << 1):
+            for offset in range(block, block + step):
+                values[offset + step] ^= values[offset]
+        step <<= 1
+    indices = [ctx.add_var(name) for name in names]
+    terms = []
+    for point in range(size):
+        if values[point]:
+            mask = 0
+            for local_bit in range(n):
+                if point >> local_bit & 1:
+                    mask |= 1 << indices[local_bit]
+            terms.append(mask)
+    return Anf(ctx, terms)

@@ -1,0 +1,135 @@
+"""A small Boolean expression parser.
+
+Accepts the usual infix syntax so that specifications and tests can be written
+compactly::
+
+    parse(ctx, "(a ^ b) & (p ^ c*d) | ~e")
+
+Grammar (highest precedence first):
+
+* ``~x`` or ``!x`` — complement
+* ``x & y`` or ``x * y`` — AND
+* ``x ^ y`` — XOR
+* ``x | y`` or ``x + y`` — OR
+
+``0`` and ``1`` are the Boolean constants.  Identifiers match
+``[A-Za-z_][A-Za-z0-9_]*``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .context import Context
+from .expression import Anf
+
+
+class ParseError(ValueError):
+    """Raised on malformed expression text."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<const>[01])
+  | (?P<op>[~!&*^|+()])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at position {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        yield _Token(match.lastgroup or "", match.group(), match.start())
+    yield _Token("end", "", len(text))
+
+
+class _Parser:
+    def __init__(self, ctx: Context, text: str) -> None:
+        self._ctx = ctx
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        token = self._advance()
+        if token.text != text:
+            raise ParseError(f"expected {text!r} at position {token.position}, got {token.text!r}")
+
+    def parse(self) -> Anf:
+        expr = self._parse_or()
+        token = self._peek()
+        if token.kind != "end":
+            raise ParseError(f"unexpected trailing input at position {token.position}: {token.text!r}")
+        return expr
+
+    def _parse_or(self) -> Anf:
+        expr = self._parse_xor()
+        while self._peek().text in ("|", "+"):
+            self._advance()
+            expr = expr | self._parse_xor()
+        return expr
+
+    def _parse_xor(self) -> Anf:
+        expr = self._parse_and()
+        while self._peek().text == "^":
+            self._advance()
+            expr = expr ^ self._parse_and()
+        return expr
+
+    def _parse_and(self) -> Anf:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.text in ("&", "*"):
+                self._advance()
+                expr = expr & self._parse_unary()
+            else:
+                break
+        return expr
+
+    def _parse_unary(self) -> Anf:
+        token = self._peek()
+        if token.text in ("~", "!"):
+            self._advance()
+            return ~self._parse_unary()
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Anf:
+        token = self._advance()
+        if token.text == "(":
+            expr = self._parse_or()
+            self._expect(")")
+            return expr
+        if token.kind == "name":
+            return Anf.var(self._ctx, token.text)
+        if token.kind == "const":
+            return Anf.constant(self._ctx, int(token.text))
+        raise ParseError(f"unexpected token {token.text!r} at position {token.position}")
+
+
+def parse(ctx: Context, text: str) -> Anf:
+    """Parse an infix Boolean expression into canonical ANF."""
+    return _Parser(ctx, text).parse()

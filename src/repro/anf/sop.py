@@ -1,0 +1,173 @@
+"""Sum-of-products (SOP) form and conversions to/from the Reed-Muller form.
+
+The paper's "Unoptimised (SOP)" baselines describe circuits as an OR of
+product terms over positive and negative literals.  This module provides a
+cube-list representation of SOPs, conversion between SOP and ANF, and a
+covering-based extraction of an SOP from an ANF (used when the baseline
+synthesiser needs a two-level starting point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .context import Context
+from .expression import Anf
+
+
+@dataclass(frozen=True)
+class Cube:
+    """One product term: a set of positive and a set of negative literals.
+
+    ``positive`` and ``negative`` are bitmasks over the context variables.
+    The constant-one cube has both masks zero.
+    """
+
+    positive: int
+    negative: int
+
+    def __post_init__(self) -> None:
+        if self.positive & self.negative:
+            raise ValueError("a cube cannot contain a literal and its complement")
+
+    @property
+    def num_literals(self) -> int:
+        return bin(self.positive).count("1") + bin(self.negative).count("1")
+
+    def contains_point(self, ones_mask: int) -> bool:
+        """True when the minterm ``ones_mask`` satisfies this cube."""
+        return (ones_mask & self.positive) == self.positive and (ones_mask & self.negative) == 0
+
+    def covers(self, other: "Cube") -> bool:
+        """True when every minterm of ``other`` is also a minterm of this cube."""
+        return (
+            self.positive & ~other.positive == 0
+            and self.negative & ~other.negative == 0
+        )
+
+    def to_anf(self, ctx: Context) -> Anf:
+        """Expand the cube into ANF (product of literals)."""
+        result = Anf._raw(ctx, frozenset({self.positive}))
+        negative = self.negative
+        index = 0
+        while negative:
+            if negative & 1:
+                result = result & ~Anf.var(ctx, ctx.name(index))
+            negative >>= 1
+            index += 1
+        return result
+
+    def render(self, ctx: Context) -> str:
+        """Readable rendering such as ``a*~b*c`` (``1`` for the empty cube)."""
+        parts = [name for name in ctx.names_of(self.positive)]
+        parts += [f"~{name}" for name in ctx.names_of(self.negative)]
+        return "*".join(parts) if parts else "1"
+
+
+class Sop:
+    """A sum (OR) of product terms."""
+
+    __slots__ = ("_ctx", "_cubes")
+
+    def __init__(self, ctx: Context, cubes: Iterable[Cube] = ()) -> None:
+        self._ctx = ctx
+        self._cubes: list[Cube] = list(cubes)
+
+    @property
+    def ctx(self) -> Context:
+        return self._ctx
+
+    @property
+    def cubes(self) -> list[Cube]:
+        return list(self._cubes)
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self._cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(cube.num_literals for cube in self._cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_literal_names(
+        cls, ctx: Context, cubes: Iterable[tuple[Sequence[str], Sequence[str]]]
+    ) -> "Sop":
+        """Build from ``(positive_names, negative_names)`` pairs."""
+        built = []
+        for positive_names, negative_names in cubes:
+            positive = ctx.mask_of(positive_names)
+            negative = ctx.mask_of(negative_names)
+            built.append(Cube(positive, negative))
+        return cls(ctx, built)
+
+    def add_cube(self, cube: Cube) -> None:
+        self._cubes.append(cube)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        ones_mask = 0
+        for name, value in assignment.items():
+            if name in self._ctx and value:
+                ones_mask |= 1 << self._ctx.index(name)
+        return 1 if any(cube.contains_point(ones_mask) for cube in self._cubes) else 0
+
+    def to_anf(self) -> Anf:
+        """Exact conversion to Reed-Muller form (OR-folding of cube ANFs)."""
+        result = Anf.zero(self._ctx)
+        for cube in self._cubes:
+            result = result | cube.to_anf(self._ctx)
+        return result
+
+    def render(self) -> str:
+        if not self._cubes:
+            return "0"
+        return " + ".join(cube.render(self._ctx) for cube in self._cubes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        text = self.render()
+        if len(text) > 120:
+            return f"Sop(<{self.num_cubes} cubes>)"
+        return f"Sop({text})"
+
+
+def anf_to_sop(expr: Anf, variables: Sequence[str] | None = None) -> Sop:
+    """Convert an ANF to a (non-minimised) SOP by enumerating minterms.
+
+    Exponential in the support size; intended for block-level expressions
+    (a handful of variables).  Use :mod:`repro.synth.twolevel` to minimise
+    the result.
+    """
+    ctx = expr.ctx
+    if variables is None:
+        variables = list(expr.support)
+    n = len(variables)
+    if n > 20:
+        raise ValueError("anf_to_sop enumerates minterms; refusing more than 20 variables")
+    indices = [ctx.index(name) for name in variables]
+    cubes = []
+    for point in range(1 << n):
+        ones_mask = 0
+        for local_bit in range(n):
+            if point >> local_bit & 1:
+                ones_mask |= 1 << indices[local_bit]
+        if expr.evaluate_mask(ones_mask):
+            positive = ones_mask
+            negative = 0
+            for local_bit in range(n):
+                if not point >> local_bit & 1:
+                    negative |= 1 << indices[local_bit]
+            cubes.append(Cube(positive, negative))
+    return Sop(ctx, cubes)

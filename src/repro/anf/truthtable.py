@@ -1,0 +1,161 @@
+"""Dense truth tables and conversions to/from ANF.
+
+Truth tables are the bridge between the symbolic world (ANF, SOP, netlists)
+and exhaustive verification.  They are stored as numpy uint8 arrays indexed by
+the integer whose bit *i* is the value of the *i*-th variable of the table's
+variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .context import Context
+from .expression import Anf
+
+
+class TruthTable:
+    """Dense truth table over an explicit variable order."""
+
+    __slots__ = ("_ctx", "_variables", "_values")
+
+    def __init__(self, ctx: Context, variables: Sequence[str], values: np.ndarray) -> None:
+        variables = list(variables)
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (1 << len(variables),):
+            raise ValueError(
+                f"expected {1 << len(variables)} entries for {len(variables)} variables, "
+                f"got {values.shape}"
+            )
+        self._ctx = ctx
+        self._variables = variables
+        self._values = values % 2
+
+    # ------------------------------------------------------------------
+    @property
+    def ctx(self) -> Context:
+        return self._ctx
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._variables)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, point: int) -> int:
+        return int(self._values[point])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self._variables == other._variables and bool(
+            np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._variables), self._values.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_function(
+        cls,
+        ctx: Context,
+        variables: Sequence[str],
+        function: Callable[[tuple[int, ...]], int | bool],
+    ) -> "TruthTable":
+        """Tabulate an arbitrary Python function of 0/1 tuples."""
+        n = len(variables)
+        if n > 24:
+            raise ValueError("refusing to tabulate more than 24 variables")
+        values = np.zeros(1 << n, dtype=np.uint8)
+        for point in range(1 << n):
+            bits = tuple((point >> i) & 1 for i in range(n))
+            values[point] = 1 if function(bits) else 0
+        return cls(ctx, variables, values)
+
+    @classmethod
+    def from_anf(cls, expr: Anf, variables: Sequence[str] | None = None) -> "TruthTable":
+        """Tabulate an ANF over the given variable order (default: its support)."""
+        ctx = expr.ctx
+        if variables is None:
+            variables = list(expr.support)
+        n = len(variables)
+        if n > 24:
+            raise ValueError("refusing to tabulate more than 24 variables")
+        positions = {ctx.index(name): local for local, name in enumerate(variables)}
+        size = 1 << n
+        values = np.zeros(size, dtype=np.uint8)
+        outside = expr.support_mask & ~ctx.mask_of(variables)
+        if outside:
+            names = ctx.names_of(outside)
+            raise ValueError(f"expression depends on variables outside the order: {names}")
+        for term in expr.terms:
+            # Translate the global monomial mask into the local variable order.
+            local_mask = 0
+            remaining = term
+            index = 0
+            while remaining:
+                if remaining & 1:
+                    local_mask |= 1 << positions[index]
+                remaining >>= 1
+                index += 1
+            # XOR the indicator of "point covers local_mask" into the table.
+            covered = _supersets_indicator(local_mask, n)
+            values ^= covered
+        return cls(ctx, variables, values)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_anf(self) -> Anf:
+        """Moebius transform back to the canonical Reed-Muller form."""
+        values = self._values.copy()
+        n = self.num_variables
+        size = 1 << n
+        step = 1
+        while step < size:
+            # values[block + step + offset] ^= values[block + offset]
+            idx = np.arange(size)
+            upper = (idx & step).astype(bool)
+            values[upper] ^= values[idx[upper] ^ step]
+            step <<= 1
+        indices = [self._ctx.add_var(name) for name in self._variables]
+        terms = []
+        for point in np.nonzero(values)[0]:
+            point = int(point)
+            mask = 0
+            for local_bit in range(n):
+                if point >> local_bit & 1:
+                    mask |= 1 << indices[local_bit]
+            terms.append(mask)
+        return Anf(self._ctx, terms)
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments."""
+        return int(self._values.sum())
+
+    def evaluate(self, assignment: dict[str, int]) -> int:
+        point = 0
+        for local, name in enumerate(self._variables):
+            if assignment.get(name, 0):
+                point |= 1 << local
+        return int(self._values[point])
+
+
+def _supersets_indicator(mask: int, n: int) -> np.ndarray:
+    """uint8 array ``v`` with ``v[p] = 1`` iff ``p & mask == mask``."""
+    idx = np.arange(1 << n, dtype=np.int64)
+    return ((idx & mask) == mask).astype(np.uint8)

@@ -1,0 +1,60 @@
+"""Benchmark circuit generators for every row of the paper's Table 1."""
+
+from .adder import (
+    AdderSpec,
+    adder_spec,
+    carry_lookahead_adder_netlist,
+    prefix_adder_netlist,
+    ripple_carry_adder_netlist,
+)
+from .comparator import (
+    ComparatorSpec,
+    comparator_spec,
+    progressive_comparator_netlist,
+    subtracter_carry_comparator_netlist,
+)
+from .counter import (
+    CounterSpec,
+    adder_chain_counter_netlist,
+    compressor_tree_counter_netlist,
+    counter_spec,
+)
+from .lod import LodSpec, lod_sop, lod_spec
+from .lzd import LzdSpec, lzd_sop, lzd_spec, oklobdzija_lzd_netlist
+from .majority import MajoritySpec, majority_sop, majority_spec
+from .three_input_adder import (
+    ThreeInputAdderSpec,
+    cascaded_rca_netlist,
+    csa_adder_netlist,
+    three_input_adder_spec,
+)
+
+__all__ = [
+    "AdderSpec",
+    "ComparatorSpec",
+    "CounterSpec",
+    "LodSpec",
+    "LzdSpec",
+    "MajoritySpec",
+    "ThreeInputAdderSpec",
+    "adder_chain_counter_netlist",
+    "adder_spec",
+    "carry_lookahead_adder_netlist",
+    "cascaded_rca_netlist",
+    "comparator_spec",
+    "compressor_tree_counter_netlist",
+    "counter_spec",
+    "csa_adder_netlist",
+    "lod_sop",
+    "lod_spec",
+    "lzd_sop",
+    "lzd_spec",
+    "majority_sop",
+    "majority_spec",
+    "oklobdzija_lzd_netlist",
+    "prefix_adder_netlist",
+    "progressive_comparator_netlist",
+    "ripple_carry_adder_netlist",
+    "subtracter_carry_comparator_netlist",
+    "three_input_adder_spec",
+]

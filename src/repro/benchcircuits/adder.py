@@ -1,0 +1,128 @@
+"""Two-operand adder benchmarks — Table 1, "16-bit Adder".
+
+* :func:`adder_spec` — the canonical Boolean specification of ``A + B``
+  (what PD consumes; its Reed-Muller form is the fully expanded carry chain);
+* :func:`ripple_carry_adder_netlist` — the unoptimised structural description
+  (the paper feeds an RCA description to Design Compiler);
+* :func:`carry_lookahead_adder_netlist` — a block carry-lookahead adder;
+* :func:`prefix_adder_netlist` — a Kogge-Stone parallel-prefix adder.  The
+  last two play the role of the DesignWare reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from ..anf.word import Word
+from ..circuit import gates
+from ..circuit.netlist import Netlist
+
+
+@dataclass
+class AdderSpec:
+    """Specification bundle for one adder instance."""
+
+    ctx: Context
+    width: int
+    inputs: List[str]
+    outputs: Dict[str, Anf]
+    input_words: List[List[str]]
+
+
+def adder_spec(width: int = 16, ctx: Context | None = None,
+               prefix_a: str = "a", prefix_b: str = "b") -> AdderSpec:
+    """Canonical specification of the ``width``-bit unsigned addition ``A + B``."""
+    if width < 1:
+        raise ValueError("adder needs at least one bit")
+    ctx = ctx or Context()
+    a = Word.inputs(ctx, prefix_a, width)
+    b = Word.inputs(ctx, prefix_b, width)
+    total = a.add(b)
+    outputs = total.as_outputs("s")
+    a_bits = [f"{prefix_a}{i}" for i in range(width)]
+    b_bits = [f"{prefix_b}{i}" for i in range(width)]
+    return AdderSpec(ctx, width, a_bits + b_bits, outputs, [a_bits, b_bits])
+
+
+def ripple_carry_adder_netlist(width: int = 16, prefix_a: str = "a", prefix_b: str = "b",
+                               name: str = "adder_rca") -> Netlist:
+    """Classic ripple-carry adder built from full-adder cells."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs([f"{prefix_a}{i}" for i in range(width)])
+    b = netlist.add_inputs([f"{prefix_b}{i}" for i in range(width)])
+    carry: str | None = None
+    for i in range(width):
+        if carry is None:
+            netlist.set_output(f"s{i}", netlist.add_gate(gates.HA_SUM, [a[i], b[i]]))
+            carry = netlist.add_gate(gates.HA_CARRY, [a[i], b[i]])
+        else:
+            netlist.set_output(f"s{i}", netlist.add_gate(gates.FA_SUM, [a[i], b[i], carry]))
+            carry = netlist.add_gate(gates.FA_CARRY, [a[i], b[i], carry])
+    netlist.set_output(f"s{width}", carry)
+    return netlist
+
+
+def carry_lookahead_adder_netlist(width: int = 16, block_size: int = 4,
+                                  prefix_a: str = "a", prefix_b: str = "b",
+                                  name: str = "adder_cla") -> Netlist:
+    """Block carry-lookahead adder (generate/propagate per block)."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs([f"{prefix_a}{i}" for i in range(width)])
+    b = netlist.add_inputs([f"{prefix_b}{i}" for i in range(width)])
+    generate = [netlist.add_gate(gates.AND, [a[i], b[i]]) for i in range(width)]
+    propagate = [netlist.add_gate(gates.XOR, [a[i], b[i]]) for i in range(width)]
+
+    carries: List[str | None] = [None] * (width + 1)
+    block_carry: str | None = None
+    for start in range(0, width, block_size):
+        end = min(start + block_size, width)
+        carries[start] = block_carry
+        # Carries inside the block, expanded in lookahead form from the block input.
+        for i in range(start, end):
+            terms: List[str] = [generate[i]]
+            for j in range(start, i):
+                factors = [generate[j]] + propagate[j + 1:i + 1]
+                terms.append(netlist.add_gate(gates.AND, factors) if len(factors) > 1 else factors[0])
+            if block_carry is not None:
+                factors = [block_carry] + propagate[start:i + 1]
+                terms.append(netlist.add_gate(gates.AND, factors) if len(factors) > 1 else factors[0])
+            carries[i + 1] = netlist.add_gate(gates.OR, terms) if len(terms) > 1 else terms[0]
+        block_carry = carries[end]
+
+    for i in range(width):
+        if carries[i] is None:
+            netlist.set_output(f"s{i}", propagate[i])
+        else:
+            netlist.set_output(f"s{i}", netlist.add_gate(gates.XOR, [propagate[i], carries[i]]))
+    netlist.set_output(f"s{width}", carries[width])
+    return netlist
+
+
+def prefix_adder_netlist(width: int = 16, prefix_a: str = "a", prefix_b: str = "b",
+                         name: str = "adder_kogge_stone") -> Netlist:
+    """Kogge-Stone parallel-prefix adder."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs([f"{prefix_a}{i}" for i in range(width)])
+    b = netlist.add_inputs([f"{prefix_b}{i}" for i in range(width)])
+    generate = [netlist.add_gate(gates.AND, [a[i], b[i]]) for i in range(width)]
+    propagate = [netlist.add_gate(gates.XOR, [a[i], b[i]]) for i in range(width)]
+    group_g = list(generate)
+    group_p = list(propagate)
+    distance = 1
+    while distance < width:
+        new_g = list(group_g)
+        new_p = list(group_p)
+        for i in range(distance, width):
+            carry_through = netlist.add_gate(gates.AND, [group_p[i], group_g[i - distance]])
+            new_g[i] = netlist.add_gate(gates.OR, [group_g[i], carry_through])
+            new_p[i] = netlist.add_gate(gates.AND, [group_p[i], group_p[i - distance]])
+        group_g, group_p = new_g, new_p
+        distance *= 2
+    netlist.set_output("s0", propagate[0])
+    for i in range(1, width):
+        netlist.set_output(f"s{i}", netlist.add_gate(gates.XOR, [propagate[i], group_g[i - 1]]))
+    netlist.set_output(f"s{width}", group_g[width - 1])
+    return netlist

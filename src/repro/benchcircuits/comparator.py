@@ -1,0 +1,93 @@
+"""Magnitude comparator benchmarks — Table 1, "15-bit Comparator".
+
+The function is ``gt = (A > B)`` for two unsigned ``width``-bit operands.
+
+* :func:`comparator_spec` — canonical Boolean specification (what PD
+  consumes; PD is expected to rediscover the borrow/carry chain — "the
+  comparator function is the same as the sign of the subtraction");
+* :func:`progressive_comparator_netlist` — the unoptimised description: the
+  MSB-first "compare, and on equality look at the next bit" chain;
+* :func:`subtracter_carry_comparator_netlist` — the manual reference: the
+  carry-out of ``A - B`` computed by a borrow-ripple subtracter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from ..anf.word import Word
+from ..circuit import gates
+from ..circuit.netlist import Netlist
+
+
+@dataclass
+class ComparatorSpec:
+    """Specification bundle for one comparator instance."""
+
+    ctx: Context
+    width: int
+    inputs: List[str]
+    outputs: Dict[str, Anf]
+    input_words: List[List[str]]
+
+
+def comparator_spec(width: int = 15, ctx: Context | None = None,
+                    prefix_a: str = "a", prefix_b: str = "b") -> ComparatorSpec:
+    """Canonical specification of the unsigned comparison ``A > B``."""
+    if width < 1:
+        raise ValueError("comparator needs at least one bit")
+    ctx = ctx or Context()
+    a = Word.inputs(ctx, prefix_a, width)
+    b = Word.inputs(ctx, prefix_b, width)
+    gt = a.greater_than(b)
+    a_bits = [f"{prefix_a}{i}" for i in range(width)]
+    b_bits = [f"{prefix_b}{i}" for i in range(width)]
+    return ComparatorSpec(ctx, width, a_bits + b_bits, {"gt": gt}, [a_bits, b_bits])
+
+
+def progressive_comparator_netlist(width: int = 15, prefix_a: str = "a", prefix_b: str = "b",
+                                   name: str = "comparator_msb_first") -> Netlist:
+    """MSB-first comparator chain: compare a bit, fall through on equality."""
+    netlist = Netlist(name)
+    a = netlist.add_inputs([f"{prefix_a}{i}" for i in range(width)])
+    b = netlist.add_inputs([f"{prefix_b}{i}" for i in range(width)])
+    # Build the priority chain from the least significant bit upwards: at each
+    # position the comparison of the more significant bit either decides the
+    # result or, on equality, falls through to the lower bits' verdict.
+    result: str | None = None
+    for i in range(width):
+        not_b = netlist.add_gate(gates.NOT, [b[i]])
+        gt_here = netlist.add_gate(gates.AND, [a[i], not_b])
+        if result is None:
+            result = gt_here
+        else:
+            equal_here = netlist.add_gate(gates.XNOR, [a[i], b[i]])
+            keep_lower = netlist.add_gate(gates.AND, [equal_here, result])
+            result = netlist.add_gate(gates.OR, [gt_here, keep_lower])
+    netlist.set_output("gt", result if result is not None else netlist.constant(0))
+    return netlist
+
+
+def subtracter_carry_comparator_netlist(width: int = 15, prefix_a: str = "a", prefix_b: str = "b",
+                                        name: str = "comparator_subtract") -> Netlist:
+    """``A > B`` as the borrow-out of ``B - A`` (ripple borrow chain).
+
+    ``A > B`` holds exactly when computing ``B - A`` underflows, i.e. when the
+    final borrow of the subtraction is raised.
+    """
+    netlist = Netlist(name)
+    a = netlist.add_inputs([f"{prefix_a}{i}" for i in range(width)])
+    b = netlist.add_inputs([f"{prefix_b}{i}" for i in range(width)])
+    borrow: str | None = None
+    for i in range(width):
+        not_b = netlist.add_gate(gates.NOT, [b[i]])
+        if borrow is None:
+            borrow = netlist.add_gate(gates.AND, [a[i], not_b])
+        else:
+            # borrow' = a·~b  |  (a XNOR b)·borrow  == majority(a, ~b, borrow)
+            borrow = netlist.add_gate(gates.FA_CARRY, [a[i], not_b, borrow])
+    netlist.set_output("gt", borrow if borrow is not None else netlist.constant(0))
+    return netlist

@@ -1,0 +1,185 @@
+"""Conversions between symbolic expressions and gate-level netlists."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from ..anf.sop import Sop
+from . import gates
+from .netlist import Netlist
+
+
+def anf_to_netlist(
+    outputs: Mapping[str, Anf],
+    inputs: Sequence[str] | None = None,
+    name: str = "anf",
+) -> Netlist:
+    """Direct structural translation of ANF outputs: AND per monomial, XOR tree.
+
+    This is the *literal* Reed-Muller structure (useful for structural
+    statistics); the synthesis flows use smarter structuring strategies.
+    """
+    if not outputs:
+        raise ValueError("anf_to_netlist needs at least one output")
+    ctx = next(iter(outputs.values())).ctx
+    netlist = Netlist(name)
+    if inputs is None:
+        support_mask = 0
+        for expr in outputs.values():
+            support_mask |= expr.support_mask
+        inputs = list(ctx.names_of(support_mask))
+    netlist.add_inputs(inputs)
+    known = set(inputs)
+
+    monomial_net: Dict[int, str] = {}
+
+    def net_for_monomial(mask: int) -> str:
+        net = monomial_net.get(mask)
+        if net is not None:
+            return net
+        names = ctx.names_of(mask)
+        for var_name in names:
+            if var_name not in known:
+                raise ValueError(f"expression uses {var_name!r} which is not a primary input")
+        if len(names) == 1:
+            net = names[0]
+        else:
+            net = netlist.add_gate(gates.AND, list(names))
+        monomial_net[mask] = net
+        return net
+
+    for port, expr in outputs.items():
+        ctx.require_same(expr.ctx)
+        if expr.is_zero:
+            net = netlist.constant(0)
+        elif expr.is_one:
+            net = netlist.constant(1)
+        else:
+            product_nets = []
+            has_const_one = False
+            for mask in expr.sorted_terms():
+                if mask == 0:
+                    has_const_one = True
+                else:
+                    product_nets.append(net_for_monomial(mask))
+            if len(product_nets) == 1:
+                net = product_nets[0]
+            else:
+                net = netlist.add_gate(gates.XOR, product_nets)
+            if has_const_one:
+                net = netlist.add_gate(gates.NOT, [net])
+        netlist.set_output(port, net)
+    return netlist
+
+
+def sop_to_netlist(
+    outputs: Mapping[str, Sop],
+    inputs: Sequence[str] | None = None,
+    name: str = "sop",
+) -> Netlist:
+    """Direct two-level AND-OR translation of SOP outputs (with shared cubes)."""
+    if not outputs:
+        raise ValueError("sop_to_netlist needs at least one output")
+    ctx = next(iter(outputs.values())).ctx
+    netlist = Netlist(name)
+    if inputs is None:
+        mask = 0
+        for sop in outputs.values():
+            for cube in sop:
+                mask |= cube.positive | cube.negative
+        inputs = list(ctx.names_of(mask))
+    netlist.add_inputs(inputs)
+
+    inverted: Dict[str, str] = {}
+    cube_nets: Dict[tuple[int, int], str] = {}
+
+    def net_for_literal(var_name: str, positive: bool) -> str:
+        if positive:
+            return var_name
+        net = inverted.get(var_name)
+        if net is None:
+            net = netlist.add_gate(gates.NOT, [var_name])
+            inverted[var_name] = net
+        return net
+
+    def net_for_cube(positive: int, negative: int) -> str:
+        key = (positive, negative)
+        net = cube_nets.get(key)
+        if net is not None:
+            return net
+        literal_nets = [net_for_literal(v, True) for v in ctx.names_of(positive)]
+        literal_nets += [net_for_literal(v, False) for v in ctx.names_of(negative)]
+        if not literal_nets:
+            net = netlist.constant(1)
+        elif len(literal_nets) == 1:
+            net = literal_nets[0]
+        else:
+            net = netlist.add_gate(gates.AND, literal_nets)
+        cube_nets[key] = net
+        return net
+
+    for port, sop in outputs.items():
+        ctx.require_same(sop.ctx)
+        if sop.num_cubes == 0:
+            net = netlist.constant(0)
+        else:
+            nets = [net_for_cube(cube.positive, cube.negative) for cube in sop]
+            net = nets[0] if len(nets) == 1 else netlist.add_gate(gates.OR, nets)
+        netlist.set_output(port, net)
+    return netlist
+
+
+def netlist_to_anf(netlist: Netlist, ctx: Context | None = None) -> Dict[str, Anf]:
+    """Compute the canonical ANF of every primary output of a netlist.
+
+    Exact but potentially expensive for circuits whose Reed-Muller form is
+    large (the paper's observation about 32-bit LZD applies here as well).
+    """
+    if ctx is None:
+        ctx = Context(netlist.inputs)
+    values: Dict[str, Anf] = {name: Anf.var(ctx, name) for name in netlist.inputs}
+    for gate in netlist.topological_gates():
+        operands = [values[net] for net in gate.inputs]
+        values[gate.output] = _gate_anf(ctx, gate.op, operands)
+    return {port: values[net] for port, net in netlist.outputs.items()}
+
+
+def _gate_anf(ctx: Context, op: str, operands: list[Anf]) -> Anf:
+    if op == gates.CONST0:
+        return Anf.zero(ctx)
+    if op == gates.CONST1:
+        return Anf.one(ctx)
+    if op in (gates.BUF,):
+        return operands[0]
+    if op == gates.NOT:
+        return ~operands[0]
+    if op in (gates.AND, gates.NAND):
+        result = Anf.one(ctx)
+        for operand in operands:
+            result = result & operand
+        return ~result if op == gates.NAND else result
+    if op in (gates.OR, gates.NOR):
+        result = Anf.zero(ctx)
+        for operand in operands:
+            result = result | operand
+        return ~result if op == gates.NOR else result
+    if op in (gates.XOR, gates.XNOR):
+        result = Anf.zero(ctx)
+        for operand in operands:
+            result = result ^ operand
+        return ~result if op == gates.XNOR else result
+    if op == gates.MUX:
+        select, when_true, when_false = operands
+        return (select & when_true) ^ (~select & when_false)
+    if op == gates.HA_SUM:
+        return operands[0] ^ operands[1]
+    if op == gates.HA_CARRY:
+        return operands[0] & operands[1]
+    if op == gates.FA_SUM:
+        return operands[0] ^ operands[1] ^ operands[2]
+    if op == gates.FA_CARRY:
+        a, b, c = operands
+        return (a & b) ^ (a & c) ^ (b & c)
+    raise ValueError(f"unknown gate operator {op!r}")

@@ -1,0 +1,48 @@
+"""Graphviz DOT export for netlists (handy for inspecting hierarchies)."""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+_OP_SHAPE = {
+    "AND": "box",
+    "NAND": "box",
+    "OR": "ellipse",
+    "NOR": "ellipse",
+    "XOR": "diamond",
+    "XNOR": "diamond",
+    "NOT": "triangle",
+    "BUF": "triangle",
+    "MUX": "trapezium",
+}
+
+
+def to_dot(netlist: Netlist, graph_name: str | None = None) -> str:
+    """Render a netlist as a Graphviz DOT digraph string."""
+    lines = [f'digraph "{graph_name or netlist.name}" {{', "  rankdir=LR;"]
+    for net in netlist.inputs:
+        lines.append(f'  "{net}" [shape=plaintext, fontcolor=blue];')
+    for index, gate in enumerate(netlist.gates):
+        node = f"g{index}"
+        shape = _OP_SHAPE.get(gate.op, "box")
+        lines.append(f'  "{node}" [label="{gate.op}", shape={shape}];')
+        for net in gate.inputs:
+            source = _source_node(netlist, net)
+            lines.append(f'  "{source}" -> "{node}";')
+        lines.append(f'  "{node}" -> "{gate.output}" [style=dotted, arrowhead=none];')
+        lines.append(f'  "{gate.output}" [shape=point];')
+    for port, net in netlist.outputs.items():
+        lines.append(f'  "out:{port}" [shape=plaintext, fontcolor=darkgreen];')
+        source = _source_node(netlist, net)
+        lines.append(f'  "{source}" -> "out:{port}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _source_node(netlist: Netlist, net: str) -> str:
+    if netlist.is_input(net):
+        return net
+    for index, gate in enumerate(netlist.gates):
+        if gate.output == net:
+            return f"g{index}"
+    return net

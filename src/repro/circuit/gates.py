@@ -1,0 +1,115 @@
+"""Gate primitives understood by the netlist, simulator and mapper."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# Logic operators.  AND/OR/XOR/NAND/NOR/XNOR accept any arity >= 1;
+# NOT and BUF are unary; MUX takes (select, when_true, when_false);
+# CONST0/CONST1 take no inputs.
+AND = "AND"
+OR = "OR"
+XOR = "XOR"
+NAND = "NAND"
+NOR = "NOR"
+XNOR = "XNOR"
+NOT = "NOT"
+BUF = "BUF"
+MUX = "MUX"
+CONST0 = "CONST0"
+CONST1 = "CONST1"
+# Arithmetic macro-gates emitted by the structural generators; the technology
+# mapper either maps them onto dedicated cells or expands them.
+HA_SUM = "HA_SUM"      # (a, b) -> a ^ b
+HA_CARRY = "HA_CARRY"  # (a, b) -> a & b
+FA_SUM = "FA_SUM"      # (a, b, cin) -> a ^ b ^ cin
+FA_CARRY = "FA_CARRY"  # (a, b, cin) -> majority(a, b, cin)
+
+ALL_OPS = frozenset(
+    {
+        AND,
+        OR,
+        XOR,
+        NAND,
+        NOR,
+        XNOR,
+        NOT,
+        BUF,
+        MUX,
+        CONST0,
+        CONST1,
+        HA_SUM,
+        HA_CARRY,
+        FA_SUM,
+        FA_CARRY,
+    }
+)
+
+_UNARY = {NOT, BUF}
+_NO_INPUT = {CONST0, CONST1}
+_FIXED_ARITY = {MUX: 3, HA_SUM: 2, HA_CARRY: 2, FA_SUM: 3, FA_CARRY: 3}
+
+
+class GateError(ValueError):
+    """Raised for malformed gates or netlists."""
+
+
+def validate_gate(op: str, num_inputs: int) -> None:
+    """Raise :class:`GateError` when the operator/arity combination is invalid."""
+    if op not in ALL_OPS:
+        raise GateError(f"unknown gate operator {op!r}")
+    if op in _NO_INPUT:
+        if num_inputs != 0:
+            raise GateError(f"{op} takes no inputs, got {num_inputs}")
+    elif op in _UNARY:
+        if num_inputs != 1:
+            raise GateError(f"{op} takes exactly one input, got {num_inputs}")
+    elif op in _FIXED_ARITY:
+        if num_inputs != _FIXED_ARITY[op]:
+            raise GateError(f"{op} takes exactly {_FIXED_ARITY[op]} inputs, got {num_inputs}")
+    else:
+        if num_inputs < 1:
+            raise GateError(f"{op} needs at least one input")
+
+
+def evaluate_op(op: str, values: Sequence[int]) -> int:
+    """Evaluate a gate operator on 0/1 input values."""
+    if op == AND:
+        return int(all(values))
+    if op == OR:
+        return int(any(values))
+    if op == XOR:
+        result = 0
+        for value in values:
+            result ^= value & 1
+        return result
+    if op == NAND:
+        return int(not all(values))
+    if op == NOR:
+        return int(not any(values))
+    if op == XNOR:
+        result = 1
+        for value in values:
+            result ^= value & 1
+        return result
+    if op == NOT:
+        return 1 - (values[0] & 1)
+    if op == BUF:
+        return values[0] & 1
+    if op == MUX:
+        select, when_true, when_false = values
+        return (when_true if select else when_false) & 1
+    if op == CONST0:
+        return 0
+    if op == CONST1:
+        return 1
+    if op == HA_SUM:
+        return (values[0] ^ values[1]) & 1
+    if op == HA_CARRY:
+        return (values[0] & values[1]) & 1
+    if op == FA_SUM:
+        return (values[0] ^ values[1] ^ values[2]) & 1
+    if op == FA_CARRY:
+        a, b, c = values
+        return ((a & b) | (a & c) | (b & c)) & 1
+    raise GateError(f"unknown gate operator {op!r}")

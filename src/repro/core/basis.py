@@ -1,0 +1,85 @@
+"""``findBasis``: extract the leader expressions of a variable group.
+
+Multi-output handling follows the paper exactly: the expression list
+``P1 … Pm`` is combined into ``X = K_{P1}·P1 ⊕ … ⊕ K_{Pm}·Pm`` using fresh tag
+variables, the basis of ``X`` with respect to the group is computed, and the
+individual outputs are later recovered by extracting each tag's component
+from the pair seconds (see :mod:`repro.core.rewrite`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from .nullspace import NullSpaceTable
+from .pairs import PairList, initial_pairs, merge_equal_parts, merge_with_nullspaces
+
+TAG_PREFIX = "_K_"
+
+
+@dataclass
+class BasisExtraction:
+    """The result of ``findBasis`` on a list of expressions."""
+
+    group: List[str]
+    group_mask: int
+    ports: List[str]
+    tag_of_port: Dict[str, str]
+    pair_list: PairList
+    nullspaces: NullSpaceTable
+
+    @property
+    def basis(self) -> List[Anf]:
+        """The candidate basis: the first element of every pair."""
+        return self.pair_list.firsts()
+
+    def basis_literal_count(self) -> int:
+        return sum(expr.literal_count for expr in self.basis)
+
+
+def tag_name_for(port: str) -> str:
+    """The tag variable name used for an output port."""
+    return f"{TAG_PREFIX}{port}"
+
+
+def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Dict[str, str]]:
+    """Build ``X = XOR_port K_port · P_port`` with one fresh tag per port."""
+    combined = Anf.zero(ctx)
+    tag_of_port: Dict[str, str] = {}
+    for port, expr in outputs.items():
+        ctx.require_same(expr.ctx)
+        tag = tag_name_for(port)
+        tag_of_port[port] = tag
+        combined = combined ^ (Anf.var(ctx, tag) & expr)
+    return combined, tag_of_port
+
+
+def extract_basis(
+    outputs: Mapping[str, Anf],
+    group: Sequence[str],
+    identities: Sequence[Anf],
+    ctx: Context,
+    use_nullspaces: bool = True,
+) -> BasisExtraction:
+    """Run ``findBasis`` for the given group over a list of output expressions."""
+    group = list(group)
+    if not group:
+        raise ValueError("findBasis needs a non-empty group")
+    group_mask = ctx.mask_of(group)
+    combined, tag_of_port = combine_with_tags(outputs, ctx)
+    nullspaces = NullSpaceTable.from_identities(ctx, identities)
+    pair_list = initial_pairs(combined, group_mask, nullspaces)
+    pair_list = merge_equal_parts(pair_list)
+    if use_nullspaces:
+        pair_list = merge_with_nullspaces(pair_list)
+    return BasisExtraction(
+        group=group,
+        group_mask=group_mask,
+        ports=list(outputs),
+        tag_of_port=tag_of_port,
+        pair_list=pair_list,
+        nullspaces=nullspaces,
+    )

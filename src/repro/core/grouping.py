@@ -1,0 +1,151 @@
+"""``findGroup``: choose the next group of k variables (paper section 5.1).
+
+While primary input bits are still visible in the expressions, the group is
+formed from the ``k/r`` least significant *available* bits of each of the
+``r`` input integers.  Once the primary inputs are exhausted the groups are
+chosen among the derived (block) variables: exhaustively for small supports
+— scored by the size of the rewritten expression, as the paper prescribes —
+and by a co-occurrence heuristic when exhaustive search would be too costly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Mapping, Sequence
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from .basis import combine_with_tags
+from .nullspace import NullSpaceTable
+from .pairs import initial_pairs, merge_equal_parts
+
+MAX_EXHAUSTIVE_CANDIDATES = 300
+
+
+def support_of_outputs(outputs: Mapping[str, Anf], ctx: Context) -> List[str]:
+    """Union of the supports of all output expressions (context order)."""
+    mask = 0
+    for expr in outputs.values():
+        mask |= expr.support_mask
+    return list(ctx.names_of(mask))
+
+
+def group_from_primary_inputs(
+    available: Sequence[str],
+    input_words: Sequence[Sequence[str]],
+    k: int,
+) -> List[str]:
+    """The ``k/r`` least significant available bits of each input word."""
+    available_set = set(available)
+    words_with_bits = [
+        [bit for bit in word if bit in available_set]
+        for word in input_words
+    ]
+    words_with_bits = [word for word in words_with_bits if word]
+    if not words_with_bits:
+        return []
+    per_word = max(1, k // len(words_with_bits))
+    group: List[str] = []
+    for word in words_with_bits:
+        for bit in word[:per_word]:
+            if len(group) >= k:
+                break
+            group.append(bit)
+        if len(group) >= k:
+            break
+    return group
+
+
+def score_group(
+    outputs: Mapping[str, Anf],
+    group: Sequence[str],
+    ctx: Context,
+    identities: Sequence[Anf] = (),
+) -> int:
+    """Estimated size (in literals) of the rewritten expressions for a group.
+
+    Each basis element is replaced by a single new literal, so the estimate is
+    ``#pairs + Σ |second_i| + |remainder|`` after the cheap equal-part merge.
+    """
+    combined, _ = combine_with_tags(outputs, ctx)
+    nullspaces = NullSpaceTable.from_identities(ctx, identities)
+    pair_list = merge_equal_parts(initial_pairs(combined, ctx.mask_of(group), nullspaces))
+    total = len(pair_list.pairs)
+    total += sum(pair.second.literal_count for pair in pair_list.pairs)
+    if pair_list.remainder is not None:
+        total += pair_list.remainder.literal_count
+    return total
+
+
+def _cooccurrence_group(outputs: Mapping[str, Anf], candidates: Sequence[str], ctx: Context, k: int) -> List[str]:
+    """Greedy group construction by monomial co-occurrence."""
+    indices = {name: ctx.index(name) for name in candidates}
+    cooccur: Dict[tuple[str, str], int] = {}
+    occurrence: Dict[str, int] = {name: 0 for name in candidates}
+    for expr in outputs.values():
+        for term in expr.terms:
+            present = [name for name in candidates if term >> indices[name] & 1]
+            for name in present:
+                occurrence[name] += 1
+            for left, right in combinations(present, 2):
+                cooccur[(left, right)] = cooccur.get((left, right), 0) + 1
+    if not candidates:
+        return []
+    # Seed with the most co-occurring pair (or the most frequent variable).
+    if cooccur:
+        seed = max(cooccur, key=cooccur.get)
+        group = [seed[0], seed[1]]
+    else:
+        group = [max(occurrence, key=occurrence.get)]
+    while len(group) < min(k, len(candidates)):
+        best_name = None
+        best_score = -1
+        for name in candidates:
+            if name in group:
+                continue
+            score = sum(
+                cooccur.get((min(name, other), max(name, other)), 0)
+                + cooccur.get((max(name, other), min(name, other)), 0)
+                for other in group
+            ) + occurrence[name]
+            if score > best_score:
+                best_score = score
+                best_name = name
+        if best_name is None:
+            break
+        group.append(best_name)
+    return group
+
+
+def find_group(
+    outputs: Mapping[str, Anf],
+    k: int,
+    ctx: Context,
+    primary_inputs: Sequence[str],
+    input_words: Sequence[Sequence[str]],
+    identities: Sequence[Anf] = (),
+) -> List[str]:
+    """Select the next group of (at most) ``k`` variables."""
+    support = support_of_outputs(outputs, ctx)
+    if not support:
+        return []
+    primary_available = [name for name in support if name in set(primary_inputs)]
+    if primary_available:
+        group = group_from_primary_inputs(primary_available, input_words, k)
+        if group:
+            return group
+    # Derived-variable stage: exhaustive scoring when affordable.
+    candidates = support
+    size = min(k, len(candidates))
+    from math import comb
+
+    if comb(len(candidates), size) <= MAX_EXHAUSTIVE_CANDIDATES:
+        best_group: List[str] | None = None
+        best_score = None
+        for subset in combinations(candidates, size):
+            score = score_group(outputs, subset, ctx, identities)
+            if best_score is None or score < best_score:
+                best_score = score
+                best_group = list(subset)
+        return best_group or candidates[:size]
+    return _cooccurrence_group(outputs, candidates, ctx, size)

@@ -1,0 +1,168 @@
+"""``findIdentities`` / ``reduceBasisUsingIdentities`` (paper section 5.5).
+
+Given the basis elements (their definitions over the current level's
+variables) the procedure searches bounded-depth expression trees over the
+prospective new variables that are identically zero.  Two families are used,
+exactly as in the paper:
+
+* *definitional* identities ``s_i ⊕ f(others) = 0`` — these shrink the basis
+  (the block for ``s_i`` is never built; ``f`` is used instead), e.g. the
+  hidden 4-bit counter in the majority function where ``s3 = s1·s2``;
+* *product* identities ``s_i·s_j·… = 0`` — these seed the null-space table of
+  the next iteration, enabling the Boolean-division style pair merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An expression over (prospective) basis variables that is identically zero."""
+
+    expr: Anf          # over the new basis variable names
+    kind: str          # "product" | "definition" | "xor"
+    description: str
+
+
+@dataclass
+class IdentityAnalysis:
+    """Identities found for a basis, and the basis reduction they allow."""
+
+    identities: List[Identity]
+    replacements: Dict[str, Anf]  # removed variable name -> expression over kept names
+    kept: List[str]               # basis variable names that remain
+
+
+def find_identities(
+    names: Sequence[str],
+    definitions: Sequence[Anf],
+    ctx: Context,
+    max_products: int = 3,
+) -> List[Identity]:
+    """Enumerate small identities among the basis definitions.
+
+    ``names`` are the prospective variable names of the basis elements and
+    ``definitions`` their expressions over the current level's variables.
+    """
+    if len(names) != len(definitions):
+        raise ValueError("names and definitions must have the same length")
+    identities: List[Identity] = []
+    n = len(names)
+
+    def var(i: int) -> Anf:
+        return Anf.var(ctx, names[i])
+
+    # --- product identities: s_i · s_j (· s_k) = 0 ------------------------
+    zero_pairs: set[tuple[int, int]] = set()
+    for i, j in combinations(range(n), 2):
+        if (definitions[i] & definitions[j]).is_zero:
+            zero_pairs.add((i, j))
+            identities.append(
+                Identity(var(i) & var(j), "product", f"{names[i]}*{names[j]} = 0")
+            )
+    if max_products >= 3:
+        for i, j, k in combinations(range(n), 3):
+            if (i, j) in zero_pairs or (i, k) in zero_pairs or (j, k) in zero_pairs:
+                continue
+            if (definitions[i] & definitions[j] & definitions[k]).is_zero:
+                identities.append(
+                    Identity(
+                        var(i) & var(j) & var(k),
+                        "product",
+                        f"{names[i]}*{names[j]}*{names[k]} = 0",
+                    )
+                )
+
+    # --- XOR identities: s_i ⊕ s_j ⊕ s_k = 0 ------------------------------
+    for i, j in combinations(range(n), 2):
+        if definitions[i] == definitions[j]:
+            identities.append(
+                Identity(var(i) ^ var(j), "definition", f"{names[i]} = {names[j]}")
+            )
+    for i, j, k in combinations(range(n), 3):
+        if (definitions[i] ^ definitions[j] ^ definitions[k]).is_zero:
+            identities.append(
+                Identity(
+                    var(i) ^ var(j) ^ var(k),
+                    "definition",
+                    f"{names[i]} = {names[j]} ^ {names[k]}",
+                )
+            )
+
+    # --- definitional identities: s_i = s_j · s_k --------------------------
+    for i in range(n):
+        for j, k in combinations(range(n), 2):
+            if i in (j, k):
+                continue
+            if definitions[i] == (definitions[j] & definitions[k]):
+                identities.append(
+                    Identity(
+                        var(i) ^ (var(j) & var(k)),
+                        "definition",
+                        f"{names[i]} = {names[j]}*{names[k]}",
+                    )
+                )
+    return identities
+
+
+def reduce_basis_using_identities(
+    names: Sequence[str],
+    definitions: Sequence[Anf],
+    identities: Sequence[Identity],
+    ctx: Context,
+) -> IdentityAnalysis:
+    """Drop basis elements that definitional identities express via the others.
+
+    Greedy: an element is removed when an identity rewrites it purely in terms
+    of elements that are being kept.  Product identities are carried through
+    (rewritten over the kept names when possible) so the next iteration can
+    use them for null-space reasoning.
+    """
+    name_list = list(names)
+    replacements: Dict[str, Anf] = {}
+
+    for identity in identities:
+        if identity.kind != "definition":
+            continue
+        # Try to solve the identity for one variable that appears linearly
+        # (as a lone literal monomial) and is not yet removed.
+        expr = identity.expr
+        for name in name_list:
+            if name in replacements:
+                continue
+            # Never remove a variable that an earlier replacement refers to,
+            # otherwise replacements would chain onto removed blocks.
+            if any(replacement.depends_on(name) for replacement in replacements.values()):
+                continue
+            bit = 1 << ctx.add_var(name)
+            if frozenset({bit}) <= expr.terms and not any(
+                term != bit and term & bit for term in expr.terms
+            ):
+                rest = expr ^ Anf.var(ctx, name)
+                # The replacement may only use kept variables.
+                rest_support = set(rest.support)
+                if rest_support & set(replacements):
+                    continue
+                if name in rest_support:
+                    continue
+                replacements[name] = rest
+                break
+
+    kept = [name for name in name_list if name not in replacements]
+
+    # Rewrite the surviving identities over kept names only.
+    rewritten: List[Identity] = []
+    substitution = dict(replacements)
+    for identity in identities:
+        expr = identity.expr.substitute(substitution) if substitution else identity.expr
+        if expr.is_zero:
+            continue
+        rewritten.append(Identity(expr, identity.kind, identity.description))
+    return IdentityAnalysis(identities=rewritten, replacements=replacements, kept=kept)

@@ -1,0 +1,114 @@
+"""Basis optimisation: linear-dependence minimisation and size reduction.
+
+Implements sections 5.3 and 5.4 of the paper.  Both procedures transform the
+pair list while preserving the invariant ``expression = XOR_i first_i·second_i
+⊕ remainder`` exactly (every rewrite used here is an identity of the Boolean
+ring), which the test suite checks property-style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..gf2.linear import find_expression_dependency
+from .nullspace import ideal_product_generator
+from .pairs import Pair, PairList
+
+
+def minimize_basis_by_linear_dependence(pair_list: PairList, max_rounds: int = 64) -> PairList:
+    """Remove pairs whose first (or second) element is an XOR of the others.
+
+    If ``X1 = X2 ⊕ … ⊕ Xn`` then
+    ``{(X1,Y1), (X2,Y2), …} → {(X2, Y1⊕Y2), (X3, Y1⊕Y3), …}`` and dually for
+    the second elements (paper section 5.3).
+    """
+    pairs = list(pair_list.pairs)
+    for _ in range(max_rounds):
+        changed = False
+
+        # Dependence among the first elements.
+        dependency = find_expression_dependency([pair.first for pair in pairs])
+        if dependency is not None:
+            index, others = dependency
+            victim = pairs[index]
+            if others or victim.first.is_zero:
+                new_pairs: List[Pair] = []
+                for position, pair in enumerate(pairs):
+                    if position == index:
+                        continue
+                    if position in others:
+                        new_pairs.append(
+                            Pair(pair.first, pair.second ^ victim.second, pair.null_generator)
+                        )
+                    else:
+                        new_pairs.append(pair)
+                pairs = [pair for pair in new_pairs if not pair.second.is_zero]
+                changed = True
+
+        if not changed:
+            # Dependence among the second elements.
+            dependency = find_expression_dependency([pair.second for pair in pairs])
+            if dependency is not None:
+                index, others = dependency
+                victim = pairs[index]
+                if others or victim.second.is_zero:
+                    new_pairs = []
+                    for position, pair in enumerate(pairs):
+                        if position == index:
+                            continue
+                        if position in others:
+                            new_pairs.append(
+                                Pair(
+                                    pair.first ^ victim.first,
+                                    pair.second,
+                                    ideal_product_generator(
+                                        pair.null_generator, victim.null_generator
+                                    ),
+                                )
+                            )
+                        else:
+                            new_pairs.append(pair)
+                    pairs = [pair for pair in new_pairs if not pair.first.is_zero]
+                    changed = True
+
+        if not changed:
+            break
+    return PairList(pairs, pair_list.remainder)
+
+
+def improve_basis_by_size_reduction(pair_list: PairList, max_rounds: int = 200) -> PairList:
+    """Local rewrites that shrink the pair list's literal count (section 5.4).
+
+    The rewrite ``(X1,Y1), (X2,Y2) → (X1⊕X2, Y1), (X2, Y1⊕Y2)`` is an exact
+    identity; it is applied greedily whenever it reduces the cumulative
+    literal count of the two pairs involved.
+    """
+    pairs = list(pair_list.pairs)
+    for _ in range(max_rounds):
+        best_gain = 0
+        best_action: tuple[int, int, Pair, Pair] | None = None
+        for i in range(len(pairs)):
+            for j in range(len(pairs)):
+                if i == j:
+                    continue
+                left, right = pairs[i], pairs[j]
+                before = left.literal_count + right.literal_count
+                new_left = Pair(
+                    left.first ^ right.first,
+                    left.second,
+                    ideal_product_generator(left.null_generator, right.null_generator),
+                )
+                new_right = Pair(right.first, left.second ^ right.second, right.null_generator)
+                if new_left.first.is_zero or new_right.second.is_zero:
+                    continue
+                after = new_left.literal_count + new_right.literal_count
+                gain = before - after
+                if gain > best_gain:
+                    best_gain = gain
+                    best_action = (i, j, new_left, new_right)
+        if best_action is None:
+            break
+        i, j, new_left, new_right = best_action
+        pairs[i] = new_left
+        pairs[j] = new_right
+    return PairList(pairs, pair_list.remainder)

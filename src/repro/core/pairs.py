@@ -1,0 +1,187 @@
+"""Pair lists: the working representation of ``findBasis`` (paper section 5.2).
+
+Every monomial of the expression under decomposition is split into its
+group-variable part ``α`` and its remaining part ``γ``; the expression is the
+XOR over pairs of ``α·γ`` (plus a remainder containing no group variable).
+``findBasis`` repeatedly *merges* pairs — by equal parts, and, when null-space
+information is available, by the Boolean-division style merge of section 4 —
+until the set of first elements is the candidate basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List
+
+from ..anf.expression import Anf
+from .nullspace import NullSpaceTable, ideal_product_generator, split_over_ideals
+
+
+@dataclass
+class Pair:
+    """One ``(first, second)`` pair with the known null-space of ``first``.
+
+    ``first`` only uses group variables; ``second`` only non-group variables
+    (and, in multi-output mode, the output tag variables).  ``null_generator``
+    generates a known sub-ideal of ``N(first)``.
+    """
+
+    first: Anf
+    second: Anf
+    null_generator: Anf
+
+    @property
+    def literal_count(self) -> int:
+        return self.first.literal_count + self.second.literal_count
+
+    def contribution(self) -> Anf:
+        """The product ``first & second`` this pair contributes to the expression."""
+        return self.first & self.second
+
+
+@dataclass
+class PairList:
+    """A list of pairs plus the group-free remainder of the expression."""
+
+    pairs: List[Pair] = field(default_factory=list)
+    remainder: Anf | None = None
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def literal_count(self) -> int:
+        total = sum(pair.literal_count for pair in self.pairs)
+        if self.remainder is not None:
+            total += self.remainder.literal_count
+        return total
+
+    def firsts(self) -> list[Anf]:
+        return [pair.first for pair in self.pairs]
+
+    def seconds(self) -> list[Anf]:
+        return [pair.second for pair in self.pairs]
+
+    def reconstruct(self) -> Anf:
+        """XOR of all pair contributions plus the remainder (for verification)."""
+        if self.remainder is not None:
+            total = self.remainder
+        elif self.pairs:
+            total = Anf.zero(self.pairs[0].first.ctx)
+        else:
+            raise ValueError("cannot reconstruct an empty pair list without a remainder")
+        for pair in self.pairs:
+            total = total ^ pair.contribution()
+        return total
+
+
+def initial_pairs(expr: Anf, group_mask: int, nullspaces: NullSpaceTable) -> PairList:
+    """Split an expression into its initial pair list for a variable group.
+
+    Monomials are bucketed by their group part, which already performs the
+    first family of merges (pairs with identical first elements).
+    """
+    buckets, remainder = expr.split_by_group(group_mask)
+    pairs = []
+    for group_part in sorted(buckets, key=lambda mask: (bin(mask).count("1"), mask)):
+        first = Anf(expr.ctx, [group_part])
+        second = buckets[group_part]
+        pairs.append(Pair(first, second, nullspaces.generator_for_monomial(group_part)))
+    return PairList(pairs, remainder)
+
+
+def merge_equal_parts(pair_list: PairList) -> PairList:
+    """Merge pairs sharing a first or a second element until a fixed point.
+
+    ``(α, γ), (β, γ) → (α ⊕ β, γ)`` and ``(α, β), (α, γ) → (α, β ⊕ γ)``
+    (paper section 5.2, the identity-free merge).
+    """
+    pairs = list(pair_list.pairs)
+    changed = True
+    while changed:
+        changed = False
+        # Merge pairs with equal second elements.
+        by_second: dict[frozenset[int], Pair] = {}
+        merged: list[Pair] = []
+        for pair in pairs:
+            key = pair.second.terms
+            existing = by_second.get(key)
+            if existing is None:
+                by_second[key] = pair
+            else:
+                combined = Pair(
+                    existing.first ^ pair.first,
+                    existing.second,
+                    ideal_product_generator(existing.null_generator, pair.null_generator),
+                )
+                by_second[key] = combined
+                changed = True
+        merged = [pair for pair in by_second.values() if not pair.first.is_zero]
+        # Merge pairs with equal first elements.
+        by_first: dict[frozenset[int], Pair] = {}
+        for pair in merged:
+            key = pair.first.terms
+            existing = by_first.get(key)
+            if existing is None:
+                by_first[key] = pair
+            else:
+                by_first[key] = Pair(
+                    existing.first,
+                    existing.second ^ pair.second,
+                    existing.null_generator,
+                )
+                changed = True
+        pairs = [pair for pair in by_first.values() if not pair.second.is_zero and not pair.first.is_zero]
+    return PairList(pairs, pair_list.remainder)
+
+
+def merge_with_nullspaces(pair_list: PairList) -> PairList:
+    """Null-space driven merging (the Boolean-division style merge).
+
+    Two pairs ``(α, γ1)`` and ``(β, γ2)`` merge into ``(α ⊕ β, γ1 ⊕ u)``
+    whenever ``γ1 ⊕ γ2 ∈ N(α) ⊕ N(β)`` with witness ``u ∈ N(α)``; the merged
+    pair's null-space generator is conservatively ``G_α · G_β``.
+    """
+    pairs = list(pair_list.pairs)
+    changed = True
+    while changed:
+        changed = False
+        merged_index: tuple[int, int] | None = None
+        replacement: Pair | None = None
+        for i in range(len(pairs)):
+            gen_i = pairs[i].null_generator
+            for j in range(i + 1, len(pairs)):
+                gen_j = pairs[j].null_generator
+                if gen_i.is_zero and gen_j.is_zero:
+                    continue
+                difference = pairs[i].second ^ pairs[j].second
+                if difference.is_zero:
+                    continue
+                split = split_over_ideals(difference, gen_i, gen_j)
+                if split is None:
+                    continue
+                u, _ = split
+                new_first = pairs[i].first ^ pairs[j].first
+                if new_first.is_zero:
+                    continue
+                replacement = Pair(
+                    new_first,
+                    pairs[i].second ^ u,
+                    ideal_product_generator(gen_i, gen_j),
+                )
+                merged_index = (i, j)
+                break
+            if merged_index is not None:
+                break
+        if merged_index is not None and replacement is not None:
+            i, j = merged_index
+            pairs = [pairs[idx] for idx in range(len(pairs)) if idx not in (i, j)]
+            pairs.append(replacement)
+            changed = True
+            # A null-space merge can enable further equal-part merges.
+            pair_list = merge_equal_parts(PairList(pairs, pair_list.remainder))
+            pairs = list(pair_list.pairs)
+    return PairList(pairs, pair_list.remainder)

@@ -1,0 +1,71 @@
+"""``rewriteExpr``: rewrite the output list in terms of the new basis.
+
+After the basis has been optimised, every pair's first element is replaced by
+either a fresh block variable, an existing literal (when the basis element is
+already a single variable), or an expression over other block variables (when
+an identity eliminated the block).  The per-output expressions are recovered
+from the tagged pair list by extracting each output's tag component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from .basis import BasisExtraction
+
+
+def extract_tag_component(expr: Anf, tag_name: str, ctx: Context) -> Anf:
+    """Monomials of ``expr`` containing the tag variable, with the tag removed."""
+    if tag_name not in ctx:
+        return Anf.zero(ctx)
+    bit = 1 << ctx.index(tag_name)
+    terms = [term & ~bit for term in expr.terms if term & bit]
+    return Anf(ctx, terms)
+
+
+def rewrite_outputs(
+    extraction: BasisExtraction,
+    substitutions: Sequence[Anf],
+    ctx: Context,
+) -> Dict[str, Anf]:
+    """Rewrite every output, substituting ``substitutions[i]`` for pair ``i``'s first.
+
+    The invariant is exact: substituting each block variable by its definition
+    in the result reproduces the original expression (verified by
+    ``Decomposition.verify``).
+    """
+    if len(substitutions) != len(extraction.pair_list.pairs):
+        raise ValueError("one substitution per pair is required")
+    outputs: Dict[str, Anf] = {}
+    remainder = extraction.pair_list.remainder
+    for port in extraction.ports:
+        tag = extraction.tag_of_port[port]
+        if remainder is not None:
+            acc = extract_tag_component(remainder, tag, ctx)
+        else:
+            acc = Anf.zero(ctx)
+        for pair, replacement in zip(extraction.pair_list.pairs, substitutions):
+            gamma = extract_tag_component(pair.second, tag, ctx)
+            if gamma.is_zero:
+                continue
+            acc = acc ^ (replacement & gamma)
+        outputs[port] = acc
+    return outputs
+
+
+def rewrite_identities(identities: Sequence[Anf], group: Sequence[str], ctx: Context) -> List[Anf]:
+    """Carry forward the identities that do not mention the consumed group.
+
+    Identities over variables that just left the expressions (the group) can
+    no longer seed null-spaces of anything visible, so they are dropped;
+    identities over surviving variables are kept unchanged.
+    """
+    group_mask = ctx.mask_of(group)
+    kept = []
+    for identity in identities:
+        if identity.support_mask & group_mask:
+            continue
+        kept.append(identity)
+    return kept

@@ -1,0 +1,139 @@
+"""Reproduction of the paper's figures.
+
+* Figures 1 vs 2 — interconnect / fan-in statistics of the flat LZD versus
+  the hierarchical implementations (Oklobdzija's manual design and the one
+  Progressive Decomposition produces);
+* Figures 3/4 — the building-block / online-algorithm construction: the
+  linear-depth serial realisation versus the log-depth hierarchical one;
+* Figure 5 — the algorithm itself (its trace is exposed by
+  :meth:`repro.core.Decomposition.trace`);
+* Figure 6 — the execution of the algorithm on the 7-bit majority function,
+  showing the hidden 4:3 / 3:2 counters and the identities that reduce the
+  basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..benchcircuits import lzd_spec, majority_spec, oklobdzija_lzd_netlist
+from ..circuit.convert import anf_to_netlist, sop_to_netlist
+from ..circuit.stats import StructureStats, structure_stats
+from ..core.decompose import Decomposition, DecompositionOptions, progressive_decomposition
+from ..core.structure import decomposition_to_netlist, hierarchy_stats
+from ..online.scan import online_adder_spec, online_to_hierarchy_netlist, online_to_serial_netlist
+from ..synth.synthesize import synthesize_netlist
+from .flows import FlowResult
+
+
+@dataclass
+class Figure12Result:
+    """Structural comparison between the flat and hierarchical 16-bit LZD."""
+
+    flat: StructureStats
+    oklobdzija: StructureStats
+    progressive: StructureStats
+    decomposition: Decomposition
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "flat (Fig. 1)": self.flat.as_dict(),
+            "Oklobdzija (Fig. 2)": self.oklobdzija.as_dict(),
+            "Progressive Decomposition": self.progressive.as_dict(),
+        }
+
+
+def figure1_vs_figure2(width: int = 16) -> Figure12Result:
+    """Quantify the motivation figures: interconnect of flat vs hierarchical LZD."""
+    from ..benchcircuits.lzd import lzd_sop
+
+    spec = lzd_spec(width)
+    flat_netlist = sop_to_netlist(lzd_sop(spec), inputs=spec.inputs, name="lzd_flat_sop")
+    manual = oklobdzija_lzd_netlist(width)
+    decomposition = progressive_decomposition(
+        spec.outputs, DecompositionOptions(), input_words=spec.input_words
+    )
+    pd_netlist = decomposition_to_netlist(decomposition, name="lzd_progressive")
+    return Figure12Result(
+        flat=structure_stats(flat_netlist),
+        oklobdzija=structure_stats(manual),
+        progressive=structure_stats(pd_netlist),
+        decomposition=decomposition,
+    )
+
+
+@dataclass
+class Figure4Result:
+    """Serial vs hierarchical realisation of an online algorithm (Fig. 4)."""
+
+    serial_depth: int
+    hierarchical_depth: int
+    serial_delay: float
+    hierarchical_delay: float
+    num_groups: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_groups": self.num_groups,
+            "serial_depth": self.serial_depth,
+            "hierarchical_depth": self.hierarchical_depth,
+            "serial_delay_ns": round(self.serial_delay, 3),
+            "hierarchical_delay_ns": round(self.hierarchical_delay, 3),
+        }
+
+
+def figure4_online_hierarchy(num_groups: int = 8, bits_per_group: int = 2) -> Figure4Result:
+    """Build the Fig. 4 construction for the adder-carry online algorithm."""
+    spec = online_adder_spec(bits_per_group)
+    serial = online_to_serial_netlist(spec, num_groups)
+    hierarchical = online_to_hierarchy_netlist(spec, num_groups)
+    serial_synth = synthesize_netlist(serial)
+    hierarchical_synth = synthesize_netlist(hierarchical)
+    return Figure4Result(
+        serial_depth=serial.depth(),
+        hierarchical_depth=hierarchical.depth(),
+        serial_delay=serial_synth.delay,
+        hierarchical_delay=hierarchical_synth.delay,
+        num_groups=num_groups,
+    )
+
+
+@dataclass
+class Figure6Result:
+    """The Fig. 6 execution trace on the 7-bit majority function."""
+
+    decomposition: Decomposition
+    counter_blocks_level1: List[str]
+    identities: List[str]
+    trace: str
+
+    def as_dict(self) -> Dict[str, object]:
+        stats = hierarchy_stats(self.decomposition)
+        return {
+            "blocks": stats.num_blocks,
+            "levels": stats.num_levels,
+            "level1_blocks": self.counter_blocks_level1,
+            "identities": self.identities,
+        }
+
+
+def figure6_majority7_trace(width: int = 7) -> Figure6Result:
+    """Run PD on the 7-bit majority and expose the counter discovery trace."""
+    spec = majority_spec(width)
+    decomposition = progressive_decomposition(
+        spec.outputs, DecompositionOptions(), input_words=spec.input_words
+    )
+    level1 = [
+        f"{block.name} = {block.definition.to_str()}"
+        for block in decomposition.blocks_at_level(1)
+    ]
+    identities = []
+    for record in decomposition.iterations:
+        identities.extend(identity.description for identity in record.identities_found)
+    return Figure6Result(
+        decomposition=decomposition,
+        counter_blocks_level1=level1,
+        identities=identities,
+        trace=decomposition.trace(),
+    )

@@ -1,0 +1,123 @@
+"""Synthesis flows used by the evaluation harness.
+
+Three flows mirror the paper's experimental setup:
+
+* **baseline** ("Unoptimised" rows): the specification — behavioural
+  expressions or a naive structural description — is synthesised directly.
+  The synthesiser applies its local optimisations (cube sharing, factoring,
+  Shannon structuring, balanced mapping) but never restructures the
+  architecture, which is exactly the behaviour of Design Compiler that the
+  paper describes.
+* **progressive** ("Progressive Decomposition" rows): the specification is
+  first structured by :func:`repro.core.progressive_decomposition`; each
+  building block is then synthesised locally and the blocks are composed.
+* **manual** (reference rows such as TGA, DesignWare, CSA+adder): a hand
+  designed structural netlist is synthesised directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..anf.expression import Anf
+from ..circuit.netlist import Netlist
+from ..core.decompose import Decomposition, DecompositionOptions, progressive_decomposition
+from ..core.structure import decomposition_to_netlist
+from ..synth.library import Library, default_library
+from ..synth.synthesize import SynthesisResult, synthesize_expressions, synthesize_netlist
+
+
+@dataclass
+class FlowResult:
+    """One synthesised implementation of a benchmark."""
+
+    label: str
+    kind: str  # "unoptimised" | "progressive" | "manual"
+    synthesis: SynthesisResult
+    runtime_seconds: float
+    decomposition: Optional[Decomposition] = None
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def area(self) -> float:
+        return self.synthesis.area
+
+    @property
+    def delay(self) -> float:
+        return self.synthesis.delay
+
+    def summary(self) -> Dict[str, object]:
+        data = {
+            "label": self.label,
+            "kind": self.kind,
+            "area_um2": round(self.area, 1),
+            "delay_ns": round(self.delay, 3),
+            "cells": self.synthesis.num_cells,
+            "runtime_s": round(self.runtime_seconds, 2),
+        }
+        data.update(self.notes)
+        return data
+
+
+def run_baseline_flow(
+    outputs: Mapping[str, Anf],
+    label: str = "Unoptimised",
+    library: Library | None = None,
+    strategy: str = "auto",
+    shannon_order: Sequence[str] | None = None,
+    objective: str = "balanced",
+) -> FlowResult:
+    """Synthesise a behavioural specification without restructuring it."""
+    library = library or default_library()
+    start = time.perf_counter()
+    result = synthesize_expressions(
+        outputs,
+        strategy=strategy,
+        library=library,
+        name=label,
+        shannon_order=shannon_order,
+        objective=objective,
+    )
+    elapsed = time.perf_counter() - start
+    return FlowResult(label, "unoptimised", result, elapsed)
+
+
+def run_structural_flow(
+    netlist: Netlist,
+    label: str,
+    library: Library | None = None,
+    kind: str = "manual",
+) -> FlowResult:
+    """Synthesise a structural description (manual reference or naive structure)."""
+    library = library or default_library()
+    start = time.perf_counter()
+    result = synthesize_netlist(netlist, library, name=label)
+    elapsed = time.perf_counter() - start
+    return FlowResult(label, kind, result, elapsed)
+
+
+def run_progressive_flow(
+    outputs: Mapping[str, Anf],
+    input_words: Sequence[Sequence[str]] | None = None,
+    label: str = "Progressive Decomposition",
+    library: Library | None = None,
+    options: DecompositionOptions | None = None,
+    block_strategy: str = "auto",
+    objective: str = "balanced",
+) -> FlowResult:
+    """Structure the specification with Progressive Decomposition, then synthesise."""
+    library = library or default_library()
+    start = time.perf_counter()
+    decomposition = progressive_decomposition(outputs, options, input_words=input_words)
+    netlist = decomposition_to_netlist(
+        decomposition, strategy=block_strategy, library=library, objective=objective
+    )
+    result = synthesize_netlist(netlist, library, name=label)
+    elapsed = time.perf_counter() - start
+    notes = {
+        "blocks": len(decomposition.blocks),
+        "levels": decomposition.num_levels,
+    }
+    return FlowResult(label, "progressive", result, elapsed, decomposition, notes)

@@ -1,0 +1,36 @@
+"""Classical algebraic factorisation (kernels, weak division, factoring).
+
+This is the baseline technique the paper argues is insufficient for
+XOR-dominated arithmetic circuits; it is also reused by the block-level
+synthesiser to produce compact structures for small expressions.
+"""
+
+from .division import (
+    common_cube,
+    divide_by_cube,
+    is_cube_free,
+    literal_frequencies,
+    make_cube_free,
+    most_frequent_literal,
+    weak_divide,
+)
+from .factoring import FactorNode, factor, factored_literal_count
+from .kernels import Kernel, best_kernel, iter_kernel_expressions, kernels, level0_kernels
+
+__all__ = [
+    "FactorNode",
+    "Kernel",
+    "best_kernel",
+    "common_cube",
+    "divide_by_cube",
+    "factor",
+    "factored_literal_count",
+    "is_cube_free",
+    "iter_kernel_expressions",
+    "kernels",
+    "level0_kernels",
+    "literal_frequencies",
+    "make_cube_free",
+    "most_frequent_literal",
+    "weak_divide",
+]

@@ -1,0 +1,25 @@
+"""Exact linear algebra over GF(2) (bitmask vectors and matrices)."""
+
+from .linear import (
+    MonomialIndexer,
+    expression_in_span,
+    expressions_rank,
+    expressions_to_vectors,
+    find_expression_dependency,
+)
+from .matrix import GF2Matrix, solve_xor_combination
+from .vectorspace import XorSpan, are_linearly_independent, find_linear_dependency, span_rank
+
+__all__ = [
+    "GF2Matrix",
+    "MonomialIndexer",
+    "XorSpan",
+    "are_linearly_independent",
+    "expression_in_span",
+    "expressions_rank",
+    "expressions_to_vectors",
+    "find_expression_dependency",
+    "find_linear_dependency",
+    "solve_xor_combination",
+    "span_rank",
+]

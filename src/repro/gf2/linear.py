@@ -1,0 +1,90 @@
+"""GF(2) linear algebra lifted to Reed-Muller expressions.
+
+A set of ANF expressions is linearly dependent exactly when one of them is the
+XOR of a subset of the others (paper, section 4: "a set of Boolean expressions
+is linearly dependent if one of these expressions can be written as the XOR of
+a subset of the rest").  These helpers convert expressions into bitmask
+vectors over their joint monomial space and reuse :mod:`repro.gf2.vectorspace`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..anf.expression import Anf
+from .vectorspace import XorSpan, find_linear_dependency
+
+
+class MonomialIndexer:
+    """Assigns consecutive indices to the distinct monomials it has seen."""
+
+    __slots__ = ("_index_of",)
+
+    def __init__(self) -> None:
+        self._index_of: dict[int, int] = {}
+
+    def vector_of(self, expr: Anf) -> int:
+        """Bitmask vector of ``expr`` over the (growing) monomial basis."""
+        vector = 0
+        index_of = self._index_of
+        for monomial in expr.terms:
+            index = index_of.get(monomial)
+            if index is None:
+                index = len(index_of)
+                index_of[monomial] = index
+            vector |= 1 << index
+        return vector
+
+    @property
+    def num_monomials(self) -> int:
+        return len(self._index_of)
+
+
+def expressions_to_vectors(exprs: Sequence[Anf]) -> list[int]:
+    """Encode expressions as GF(2) vectors over their joint monomial space."""
+    indexer = MonomialIndexer()
+    return [indexer.vector_of(expr) for expr in exprs]
+
+
+def find_expression_dependency(exprs: Sequence[Anf]) -> tuple[int, list[int]] | None:
+    """Find one linear dependency among expressions.
+
+    Returns ``(index, others)`` meaning ``exprs[index]`` equals the XOR of
+    ``exprs[j]`` for ``j`` in ``others`` (all ``j < index``), or ``None`` when
+    the expressions are linearly independent.  A zero expression is reported
+    as depending on the empty list.
+    """
+    vectors = expressions_to_vectors(exprs)
+    dependency = find_linear_dependency(vectors)
+    if dependency is None:
+        return None
+    index, combination = dependency
+    others = [j for j in range(index) if combination >> j & 1]
+    return index, others
+
+
+def expression_in_span(target: Anf, exprs: Sequence[Anf]) -> list[int] | None:
+    """Express ``target`` as an XOR of some of ``exprs``.
+
+    Returns the list of participating indices, or ``None`` when ``target`` is
+    not in the GF(2) span of ``exprs``.
+    """
+    indexer = MonomialIndexer()
+    span = XorSpan()
+    for expr in exprs:
+        span.add(indexer.vector_of(expr))
+    combination = span.combination_for(indexer.vector_of(target))
+    if combination is None:
+        return None
+    # ``combination`` refers to insertion order, which matches ``exprs`` order,
+    # but it may use reduced basis bookkeeping; recover participating indices.
+    return [j for j in range(len(exprs)) if combination >> j & 1]
+
+
+def expressions_rank(exprs: Sequence[Anf]) -> int:
+    """Rank of the expression set viewed as GF(2) vectors."""
+    indexer = MonomialIndexer()
+    span = XorSpan()
+    for expr in exprs:
+        span.add(indexer.vector_of(expr))
+    return span.dimension

@@ -1,0 +1,179 @@
+"""Dense GF(2) matrices stored as integer bitmask rows.
+
+The decomposition engine needs exact linear algebra over GF(2) (linear
+dependence of basis elements, solving for XOR combinations).  Rows are Python
+integers whose bit *j* is the entry in column *j*; this keeps elimination fast
+even for a few thousand columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class GF2Matrix:
+    """A matrix over GF(2) with bitmask rows."""
+
+    __slots__ = ("_rows", "_num_cols")
+
+    def __init__(self, rows: Iterable[int], num_cols: int) -> None:
+        rows = list(rows)
+        if num_cols < 0:
+            raise ValueError("number of columns must be non-negative")
+        limit = 1 << num_cols
+        for row in rows:
+            if row < 0 or row >= limit:
+                raise ValueError("row bitmask does not fit in the declared column count")
+        self._rows = rows
+        self._num_cols = num_cols
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[int]:
+        return list(self._rows)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_cols(self) -> int:
+        return self._num_cols
+
+    def entry(self, row: int, col: int) -> int:
+        if not 0 <= col < self._num_cols:
+            raise IndexError("column out of range")
+        return (self._rows[row] >> col) & 1
+
+    @classmethod
+    def from_lists(cls, rows: Sequence[Sequence[int]]) -> "GF2Matrix":
+        """Build from lists of 0/1 entries (row-major)."""
+        if not rows:
+            return cls([], 0)
+        num_cols = len(rows[0])
+        masks = []
+        for row in rows:
+            if len(row) != num_cols:
+                raise ValueError("all rows must have the same length")
+            mask = 0
+            for j, value in enumerate(row):
+                if value & 1:
+                    mask |= 1 << j
+            masks.append(mask)
+        return cls(masks, num_cols)
+
+    def to_lists(self) -> list[list[int]]:
+        return [[(row >> j) & 1 for j in range(self._num_cols)] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Elimination
+    # ------------------------------------------------------------------
+    def row_reduce(self) -> tuple[list[int], list[int], list[int]]:
+        """Gaussian elimination.
+
+        Returns ``(reduced_rows, pivot_cols, combos)`` where ``combos[i]`` is a
+        bitmask over the *original* row indices describing which original rows
+        were XORed to produce ``reduced_rows[i]``.  Zero rows are kept in place
+        so the row count is preserved.
+        """
+        rows = list(self._rows)
+        combos = [1 << i for i in range(len(rows))]
+        pivot_cols: list[int] = []
+        pivot_rows: list[int] = []
+        current_row = 0
+        for col in range(self._num_cols):
+            bit = 1 << col
+            pivot = None
+            for r in range(current_row, len(rows)):
+                if rows[r] & bit:
+                    pivot = r
+                    break
+            if pivot is None:
+                continue
+            rows[current_row], rows[pivot] = rows[pivot], rows[current_row]
+            combos[current_row], combos[pivot] = combos[pivot], combos[current_row]
+            for r in range(len(rows)):
+                if r != current_row and rows[r] & bit:
+                    rows[r] ^= rows[current_row]
+                    combos[r] ^= combos[current_row]
+            pivot_cols.append(col)
+            pivot_rows.append(current_row)
+            current_row += 1
+            if current_row == len(rows):
+                break
+        return rows, pivot_cols, combos
+
+    def rank(self) -> int:
+        """Rank over GF(2)."""
+        _, pivots, _ = self.row_reduce()
+        return len(pivots)
+
+    def nullspace_basis(self) -> list[int]:
+        """Basis of the right null space, as column bitmasks.
+
+        Each returned mask ``m`` satisfies: XOR of the columns selected by
+        ``m`` is the zero vector (equivalently ``A @ m == 0`` over GF(2)).
+        """
+        # Work on the transpose: a combination of columns is a combination of
+        # rows of the transpose.
+        transposed = self.transpose()
+        rows, pivot_cols, combos = transposed.row_reduce()
+        basis = []
+        for i, row in enumerate(rows):
+            if row == 0 and combos[i] != 0:
+                basis.append(combos[i])
+        return basis
+
+    def transpose(self) -> "GF2Matrix":
+        new_rows = []
+        for col in range(self._num_cols):
+            bit = 1 << col
+            mask = 0
+            for i, row in enumerate(self._rows):
+                if row & bit:
+                    mask |= 1 << i
+            new_rows.append(mask)
+        return GF2Matrix(new_rows, len(self._rows))
+
+    def multiply_vector(self, vector: int) -> int:
+        """Matrix-vector product over GF(2); ``vector`` selects columns."""
+        result = 0
+        for i, row in enumerate(self._rows):
+            if bin(row & vector).count("1") & 1:
+                result |= 1 << i
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GF2Matrix({self.num_rows}x{self.num_cols})"
+
+
+def solve_xor_combination(targets: Sequence[int], goal: int, num_cols: int = 0) -> int | None:
+    """Express ``goal`` as an XOR of some of ``targets`` (all column bitmasks).
+
+    Returns a bitmask over the indices of ``targets`` describing one such
+    combination, or ``None`` when ``goal`` is not in their span.  ``num_cols``
+    is accepted for symmetry with :class:`GF2Matrix` but is not needed.
+    """
+    # Triangular basis keyed by the lowest set bit of each stored row.
+    basis: dict[int, tuple[int, int]] = {}
+
+    def reduce(row: int, combo: int) -> tuple[int, int]:
+        while row:
+            lead = row & -row
+            entry = basis.get(lead)
+            if entry is None:
+                break
+            brow, bcombo = entry
+            row ^= brow
+            combo ^= bcombo
+        return row, combo
+
+    for index, original in enumerate(targets):
+        row, combo = reduce(original, 1 << index)
+        if row:
+            basis[row & -row] = (row, combo)
+
+    residual, residual_combo = reduce(goal, 0)
+    if residual:
+        return None
+    return residual_combo

@@ -1,0 +1,81 @@
+"""Static timing analysis on technology-mapped designs.
+
+A simple but faithful delay model: every cell contributes its intrinsic delay
+plus a load term proportional to the fanout of its output net.  Primary
+inputs arrive at time 0.  The critical path is the latest arrival at any
+primary output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .mapping import MappedDesign
+
+
+@dataclass
+class PathElement:
+    """One stage of the critical path."""
+
+    net: str
+    cell: str
+    arrival: float
+
+
+@dataclass
+class TimingReport:
+    """Arrival times and the critical path of a mapped design."""
+
+    delay: float
+    critical_output: str | None
+    arrival: Dict[str, float] = field(default_factory=dict)
+    critical_path: List[PathElement] = field(default_factory=list)
+
+    def path_description(self) -> str:
+        stages = [f"{element.net} ({element.cell}) @ {element.arrival:.3f}ns"
+                  for element in self.critical_path]
+        return " -> ".join(stages)
+
+
+def analyze_timing(design: MappedDesign) -> TimingReport:
+    """Compute arrival times and extract the critical path."""
+    netlist = design.netlist
+    fanout = netlist.fanout_counts()
+    arrival: Dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    predecessor: Dict[str, str | None] = {net: None for net in netlist.inputs}
+
+    for gate in netlist.topological_gates():
+        cell = design.cell_of.get(gate.output)
+        if cell is None:
+            # Unmapped gate (should not happen for MappedDesign); treat as zero delay.
+            gate_delay = 0.0
+        else:
+            gate_delay = cell.delay_with_fanout(fanout.get(gate.output, 1))
+        if gate.inputs:
+            worst_net = max(gate.inputs, key=lambda net: arrival.get(net, 0.0))
+            start = arrival.get(worst_net, 0.0)
+        else:
+            worst_net = None
+            start = 0.0
+        arrival[gate.output] = start + gate_delay
+        predecessor[gate.output] = worst_net
+
+    critical_output = None
+    delay = 0.0
+    for port, net in netlist.outputs.items():
+        port_arrival = arrival.get(net, 0.0)
+        if critical_output is None or port_arrival > delay:
+            delay = port_arrival
+            critical_output = port
+
+    path: List[PathElement] = []
+    if critical_output is not None:
+        net: str | None = netlist.outputs[critical_output]
+        while net is not None:
+            cell = design.cell_of.get(net)
+            path.append(PathElement(net, cell.name if cell else "input", arrival.get(net, 0.0)))
+            net = predecessor.get(net)
+        path.reverse()
+    return TimingReport(delay=delay, critical_output=critical_output,
+                        arrival=arrival, critical_path=path)

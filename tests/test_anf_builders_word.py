@@ -1,0 +1,168 @@
+"""Tests for the builder helpers and the symbolic bit-vector (Word) layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import (
+    Anf,
+    Context,
+    Word,
+    carry_save_reduce,
+    elementary_symmetric,
+    equivalent,
+    full_adder,
+    half_adder,
+    implies,
+    majority,
+    mux,
+    parity,
+    popcount_word,
+    threshold,
+    variables,
+)
+
+
+def assignment_from_int(names, value):
+    return {name: (value >> i) & 1 for i, name in enumerate(names)}
+
+
+class TestBuilders:
+    def test_threshold_matches_popcount(self):
+        ctx = Context()
+        names = ctx.bus("x", 5)
+        bits = variables(ctx, names)
+        for k in range(0, 7):
+            expr = threshold(bits, k, ctx)
+            for value in range(32):
+                expected = 1 if bin(value).count("1") >= k else 0
+                assert expr.evaluate(assignment_from_int(names, value)) == expected
+
+    def test_majority_odd(self):
+        ctx = Context()
+        names = ctx.bus("x", 7)
+        expr = majority(variables(ctx, names), ctx)
+        for value in (0, 0b1111111, 0b1010101, 0b0000111, 0b0001111):
+            expected = 1 if bin(value).count("1") >= 4 else 0
+            assert expr.evaluate(assignment_from_int(names, value)) == expected
+
+    def test_majority7_anf_is_all_4_subsets(self):
+        """The paper's section 5.5 example: MAJ7 = XOR of all degree-4 products."""
+        ctx = Context()
+        names = ctx.bus("a", 7)
+        expr = majority(variables(ctx, names), ctx)
+        assert expr.num_terms == 35
+        assert all(bin(mask).count("1") == 4 for mask in expr.terms)
+
+    def test_elementary_symmetric(self):
+        ctx = Context()
+        names = ctx.bus("x", 4)
+        bits = variables(ctx, names)
+        e2 = elementary_symmetric(bits, 2, ctx)
+        assert e2.num_terms == 6
+        assert elementary_symmetric(bits, 0, ctx).is_one
+        assert elementary_symmetric(bits, 5, ctx).is_zero
+
+    def test_parity_mux_implies_equivalent(self):
+        ctx = Context()
+        a, b, s = Anf.var(ctx, "a"), Anf.var(ctx, "b"), Anf.var(ctx, "s")
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vs in (0, 1):
+                    env = {"a": va, "b": vb, "s": vs}
+                    assert mux(s, a, b).evaluate(env) == (va if vs else vb)
+                    assert implies(a, b).evaluate(env) == (0 if (va and not vb) else 1)
+                    assert equivalent(a, b).evaluate(env) == (1 if va == vb else 0)
+        assert parity([a, b], ctx).evaluate({"a": 1, "b": 1}) == 0
+
+    def test_adders(self):
+        ctx = Context()
+        a, b, c = Anf.var(ctx, "a"), Anf.var(ctx, "b"), Anf.var(ctx, "c")
+        s, carry = full_adder(a, b, c)
+        for value in range(8):
+            env = {"a": value & 1, "b": (value >> 1) & 1, "c": (value >> 2) & 1}
+            total = env["a"] + env["b"] + env["c"]
+            assert s.evaluate(env) == total & 1
+            assert carry.evaluate(env) == total >> 1
+        hs, hc = half_adder(a, b)
+        assert hs == a ^ b
+        assert hc == a & b
+
+
+class TestWord:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_integers(self, x, y):
+        ctx = Context()
+        a = Word.inputs(ctx, "a", 8)
+        b = Word.inputs(ctx, "b", 8)
+        total = a.add(b)
+        env = {}
+        env.update(assignment_from_int([f"a{i}" for i in range(8)], x))
+        env.update(assignment_from_int([f"b{i}" for i in range(8)], y))
+        assert total.evaluate(env) == x + y
+
+    @given(st.integers(0, 127), st.integers(0, 127))
+    @settings(max_examples=40, deadline=None)
+    def test_sub_and_compare_match_integers(self, x, y):
+        ctx = Context()
+        a = Word.inputs(ctx, "a", 7)
+        b = Word.inputs(ctx, "b", 7)
+        difference, borrow = a.sub(b)
+        gt = a.greater_than(b)
+        lt = a.less_than(b)
+        eq = a.equals(b)
+        env = {}
+        env.update(assignment_from_int([f"a{i}" for i in range(7)], x))
+        env.update(assignment_from_int([f"b{i}" for i in range(7)], y))
+        assert borrow.evaluate(env) == (1 if x < y else 0)
+        assert difference.evaluate(env) == ((x - y) % 128)
+        assert gt.evaluate(env) == (1 if x > y else 0)
+        assert lt.evaluate(env) == (1 if x < y else 0)
+        assert eq.evaluate(env) == (1 if x == y else 0)
+
+    def test_constant_and_extend(self):
+        ctx = Context()
+        word = Word.constant(ctx, 5, 4)
+        assert word.evaluate({}) == 5
+        assert word.zero_extend(8).width == 8
+        assert word.zero_extend(8).evaluate({}) == 5
+        assert word.truncate(2).evaluate({}) == 1
+        with pytest.raises(ValueError):
+            word.zero_extend(2)
+
+    def test_select_and_shift(self):
+        ctx = Context()
+        cond = Anf.var(ctx, "c")
+        a = Word.constant(ctx, 3, 4)
+        b = Word.constant(ctx, 12, 4)
+        selected = a.select(cond, b)
+        assert selected.evaluate({"c": 1}) == 3
+        assert selected.evaluate({"c": 0}) == 12
+        assert a.shifted_left(2).evaluate({}) == 12
+
+    @given(st.integers(0, 2 ** 10 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_popcount_word(self, value):
+        ctx = Context()
+        names = ctx.bus("x", 10)
+        word = popcount_word(ctx, variables(ctx, names))
+        assert word.evaluate(assignment_from_int(names, value)) == bin(value).count("1")
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_carry_save_reduce(self, x, y, z):
+        ctx = Context()
+        a = Word.inputs(ctx, "a", 6)
+        b = Word.inputs(ctx, "b", 6)
+        c = Word.inputs(ctx, "c", 6)
+        sum_word, carry_word = carry_save_reduce(ctx, [a, b, c])
+        env = {}
+        env.update(assignment_from_int([f"a{i}" for i in range(6)], x))
+        env.update(assignment_from_int([f"b{i}" for i in range(6)], y))
+        env.update(assignment_from_int([f"c{i}" for i in range(6)], z))
+        assert sum_word.evaluate(env) + carry_word.evaluate(env) == x + y + z
+
+    def test_word_bit_out_of_range_is_zero(self):
+        ctx = Context()
+        word = Word.inputs(ctx, "a", 3)
+        assert word.bit(10).is_zero

@@ -1,0 +1,231 @@
+"""Unit and property tests for the Reed-Muller expression engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, ContextError, parse
+
+VARS = ["a", "b", "c", "d", "e"]
+
+
+def random_anf(draw_terms):
+    ctx = Context(VARS)
+    terms = []
+    for subset in draw_terms:
+        mask = 0
+        for i in subset:
+            mask |= 1 << i
+        terms.append(mask)
+    return ctx, Anf(ctx, terms)
+
+
+anf_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4), max_size=5).map(frozenset),
+    max_size=12,
+)
+
+
+def build(ctx, subsets):
+    terms = []
+    for subset in subsets:
+        mask = 0
+        for i in subset:
+            mask |= 1 << i
+        terms.append(mask)
+    return Anf(ctx, terms)
+
+
+class TestBasics:
+    def test_zero_and_one(self):
+        ctx = Context()
+        assert Anf.zero(ctx).is_zero
+        assert Anf.one(ctx).is_one
+        assert not Anf.one(ctx).is_zero
+        assert Anf.constant(ctx, 1) == Anf.one(ctx)
+        assert Anf.constant(ctx, 0) == Anf.zero(ctx)
+
+    def test_var_and_literal(self):
+        ctx = Context()
+        a = Anf.var(ctx, "a")
+        assert a.is_literal
+        assert a.literal_name == "a"
+        assert not (a ^ Anf.var(ctx, "b")).is_literal
+        assert not Anf.one(ctx).is_literal
+
+    def test_duplicate_terms_cancel(self):
+        ctx = Context(["a"])
+        expr = Anf(ctx, [1, 1])
+        assert expr.is_zero
+
+    def test_monomial_and_from_names(self):
+        ctx = Context()
+        m = Anf.monomial(ctx, ["a", "b"])
+        assert m.num_terms == 1
+        assert m.degree == 2
+        expr = Anf.from_monomial_names(ctx, [["a"], ["a", "b"]])
+        assert expr.num_terms == 2
+        assert expr.literal_count == 3
+
+    def test_support_and_degree(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        assert set(expr.support) == {"a", "b", "c"}
+        assert expr.degree == 2
+        assert expr.literal_count == 3
+
+    def test_str_rendering(self):
+        ctx = Context()
+        expr = parse(ctx, "a ^ b*c ^ 1")
+        assert expr.to_str() == "1 ^ a ^ b*c"
+        assert Anf.zero(ctx).to_str() == "0"
+
+    def test_mixed_context_rejected(self):
+        ctx1, ctx2 = Context(["a"]), Context(["a"])
+        with pytest.raises(ContextError):
+            Anf.var(ctx1, "a") ^ Anf.var(ctx2, "a")
+
+    def test_depends_on(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        assert expr.depends_on("a")
+        assert not expr.depends_on("z")
+
+
+class TestOperators:
+    def test_xor_and_identities(self):
+        ctx = Context()
+        a, b = Anf.var(ctx, "a"), Anf.var(ctx, "b")
+        assert (a ^ a).is_zero
+        assert (a & a) == a
+        assert (a & Anf.one(ctx)) == a
+        assert (a & Anf.zero(ctx)).is_zero
+        assert (a ^ Anf.zero(ctx)) == a
+
+    def test_or_via_ring(self):
+        ctx = Context()
+        a, b = Anf.var(ctx, "a"), Anf.var(ctx, "b")
+        disjunction = a | b
+        for va in (0, 1):
+            for vb in (0, 1):
+                assert disjunction.evaluate({"a": va, "b": vb}) == (va or vb)
+
+    def test_invert(self):
+        ctx = Context()
+        a = Anf.var(ctx, "a")
+        assert (~a).evaluate({"a": 0}) == 1
+        assert (~a).evaluate({"a": 1}) == 0
+        assert ~~a == a
+
+    def test_bool(self):
+        ctx = Context()
+        assert not Anf.zero(ctx)
+        assert Anf.one(ctx)
+
+
+class TestEvaluation:
+    def test_evaluate_requires_support(self):
+        ctx = Context()
+        expr = parse(ctx, "a ^ b")
+        with pytest.raises(ValueError):
+            expr.evaluate({"a": 1})
+
+    def test_evaluate_mask(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        a_bit = 1 << ctx.index("a")
+        b_bit = 1 << ctx.index("b")
+        c_bit = 1 << ctx.index("c")
+        assert expr.evaluate_mask(a_bit | b_bit) == 1
+        assert expr.evaluate_mask(c_bit) == 1
+        assert expr.evaluate_mask(a_bit | b_bit | c_bit) == 0
+
+    def test_cofactor(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        assert expr.cofactor("a", 1) == parse(ctx, "b ^ c")
+        assert expr.cofactor("a", 0) == parse(ctx, "c")
+        # Shannon expansion reconstructs the function.
+        a = Anf.var(ctx, "a")
+        assert (a & expr.cofactor("a", 1)) ^ (~a & expr.cofactor("a", 0)) == expr
+
+    def test_derivative(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        assert expr.derivative("a") == parse(ctx, "b")
+        assert expr.derivative("c") == Anf.one(ctx)
+
+    def test_substitute(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c")
+        replaced = expr.substitute({"a": parse(ctx, "x ^ y")})
+        assert replaced == parse(ctx, "(x ^ y)*b ^ c")
+
+    def test_substitute_simultaneous(self):
+        ctx = Context()
+        expr = parse(ctx, "a ^ b")
+        swapped = expr.substitute({"a": Anf.var(ctx, "b"), "b": Anf.var(ctx, "a")})
+        assert swapped == expr  # symmetric expression unchanged by the swap
+
+    def test_split_by_group(self):
+        ctx = Context()
+        expr = parse(ctx, "a*d ^ a*e ^ b*d ^ d*e")
+        group_mask = ctx.mask_of(["a", "b"])
+        buckets, remainder = expr.split_by_group(group_mask)
+        reconstructed = remainder
+        for group_part, rest in buckets.items():
+            reconstructed = reconstructed ^ (Anf(ctx, [group_part]) & rest)
+        assert reconstructed == expr
+        assert remainder == parse(ctx, "d*e")
+
+
+class TestProperties:
+    @given(anf_strategy, anf_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_xor_commutative_and_associative(self, left_subsets, right_subsets):
+        ctx = Context(VARS)
+        left = build(ctx, left_subsets)
+        right = build(ctx, right_subsets)
+        assert left ^ right == right ^ left
+        assert (left ^ right) ^ left == right
+
+    @given(anf_strategy, anf_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_and_distributes_over_xor(self, left_subsets, right_subsets):
+        ctx = Context(VARS)
+        left = build(ctx, left_subsets)
+        right = build(ctx, right_subsets)
+        c = Anf.var(ctx, "c")
+        assert c & (left ^ right) == (c & left) ^ (c & right)
+
+    @given(anf_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_multiplication(self, subsets):
+        ctx = Context(VARS)
+        expr = build(ctx, subsets)
+        assert expr & expr == expr
+
+    @given(anf_strategy, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=80, deadline=None)
+    def test_operators_match_semantics(self, subsets, point):
+        ctx = Context(VARS)
+        expr = build(ctx, subsets)
+        other = Anf.var(ctx, "a") ^ Anf.monomial(ctx, ["b", "c"])
+        assignment = {name: (point >> i) & 1 for i, name in enumerate(VARS)}
+        assert (expr ^ other).evaluate(assignment) == (
+            expr.evaluate(assignment) ^ other.evaluate(assignment)
+        )
+        assert (expr & other).evaluate(assignment) == (
+            expr.evaluate(assignment) & other.evaluate(assignment)
+        )
+        assert (expr | other).evaluate(assignment) == (
+            expr.evaluate(assignment) | other.evaluate(assignment)
+        )
+        assert (~expr).evaluate(assignment) == 1 - expr.evaluate(assignment)
+
+    @given(anf_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cofactor_reconstruction(self, subsets):
+        ctx = Context(VARS)
+        expr = build(ctx, subsets)
+        a = Anf.var(ctx, "a")
+        assert (a & expr.cofactor("a", 1)) ^ (~a & expr.cofactor("a", 0)) == expr

@@ -1,0 +1,114 @@
+"""Tests for SOP cubes, truth tables and the expression parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, Cube, ParseError, Sop, TruthTable, anf_to_sop, build_from_function, parse
+
+
+class TestParser:
+    def test_precedence(self):
+        ctx = Context()
+        assert parse(ctx, "a ^ b & c") == parse(ctx, "a ^ (b & c)")
+        assert parse(ctx, "a | b ^ c") == parse(ctx, "a | (b ^ c)")
+        assert parse(ctx, "~a & b") == parse(ctx, "(~a) & b")
+
+    def test_alternative_symbols(self):
+        ctx = Context()
+        assert parse(ctx, "a*b + c") == parse(ctx, "(a & b) | c")
+        assert parse(ctx, "!a") == parse(ctx, "~a")
+
+    def test_constants(self):
+        ctx = Context()
+        assert parse(ctx, "1 ^ a") == ~Anf.var(ctx, "a")
+        assert parse(ctx, "0 | a") == Anf.var(ctx, "a")
+
+    def test_errors(self):
+        ctx = Context()
+        with pytest.raises(ParseError):
+            parse(ctx, "a ^")
+        with pytest.raises(ParseError):
+            parse(ctx, "(a ^ b")
+        with pytest.raises(ParseError):
+            parse(ctx, "a $ b")
+        with pytest.raises(ParseError):
+            parse(ctx, "a b")
+
+
+class TestSop:
+    def test_cube_semantics(self):
+        ctx = Context(["a", "b", "c"])
+        cube = Cube(ctx.mask_of(["a"]), ctx.mask_of(["b"]))
+        assert cube.num_literals == 2
+        assert cube.contains_point(ctx.mask_of(["a"]))
+        assert not cube.contains_point(ctx.mask_of(["a", "b"]))
+        assert cube.render(ctx) == "a*~b"
+
+    def test_cube_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(0b1, 0b1)
+
+    def test_cube_covers(self):
+        ctx = Context(["a", "b"])
+        broad = Cube(ctx.mask_of(["a"]), 0)
+        narrow = Cube(ctx.mask_of(["a", "b"]), 0)
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_sop_to_anf_matches_evaluation(self):
+        ctx = Context(["a", "b", "c"])
+        sop = Sop.from_literal_names(ctx, [(("a",), ("b",)), (("b", "c"), ())])
+        expr = sop.to_anf()
+        for point in range(8):
+            env = {"a": point & 1, "b": (point >> 1) & 1, "c": (point >> 2) & 1}
+            assert expr.evaluate(env) == sop.evaluate(env)
+
+    def test_anf_to_sop_roundtrip(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c ^ a*c")
+        sop = anf_to_sop(expr)
+        assert sop.to_anf() == expr
+
+    def test_empty_sop_is_zero(self):
+        ctx = Context(["a"])
+        assert Sop(ctx).to_anf().is_zero
+        assert Sop(ctx).render() == "0"
+
+
+class TestTruthTable:
+    def test_from_function_and_anf_roundtrip(self):
+        ctx = Context()
+        names = ["x0", "x1", "x2"]
+        table = TruthTable.from_function(ctx, names, lambda bits: bits[0] ^ (bits[1] & bits[2]))
+        expr = table.to_anf()
+        assert expr == parse(ctx, "x0 ^ x1*x2")
+        back = TruthTable.from_anf(expr, names)
+        assert back == table
+
+    def test_build_from_function(self):
+        ctx = Context()
+        expr = build_from_function(ctx, ["p", "q"], lambda bits: bits[0] or bits[1])
+        assert expr == parse(ctx, "p | q")
+
+    def test_count_ones_and_evaluate(self):
+        ctx = Context()
+        names = ["a", "b"]
+        table = TruthTable.from_function(ctx, names, lambda bits: bits[0] and bits[1])
+        assert table.count_ones() == 1
+        assert table.evaluate({"a": 1, "b": 1}) == 1
+        assert table.evaluate({"a": 1, "b": 0}) == 0
+
+    def test_shape_validation(self):
+        ctx = Context()
+        with pytest.raises(ValueError):
+            TruthTable(ctx, ["a"], [0, 1, 0])
+
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_random_function(self, bits):
+        ctx = Context()
+        names = [f"v{i}" for i in range(4)]
+        values = [(bits >> i) & 1 for i in range(16)]
+        table = TruthTable(ctx, names, values)
+        expr = table.to_anf()
+        assert TruthTable.from_anf(expr, names) == table

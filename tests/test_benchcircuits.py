@@ -1,0 +1,200 @@
+"""Correctness tests for every benchmark circuit generator."""
+
+import random
+
+import pytest
+
+from repro.anf import Context
+from repro.benchcircuits import (
+    adder_chain_counter_netlist,
+    adder_spec,
+    carry_lookahead_adder_netlist,
+    cascaded_rca_netlist,
+    comparator_spec,
+    compressor_tree_counter_netlist,
+    counter_spec,
+    csa_adder_netlist,
+    lod_sop,
+    lod_spec,
+    lzd_sop,
+    lzd_spec,
+    majority_sop,
+    majority_spec,
+    oklobdzija_lzd_netlist,
+    prefix_adder_netlist,
+    progressive_comparator_netlist,
+    ripple_carry_adder_netlist,
+    subtracter_carry_comparator_netlist,
+    three_input_adder_spec,
+)
+
+RNG = random.Random(2007)
+
+
+def int_assignment(prefix, width, value):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+def leading_zeros(value, width):
+    count = 0
+    for i in range(width - 1, -1, -1):
+        if value >> i & 1:
+            return count
+        count += 1
+    return width - 1  # saturating encoding used by the spec
+
+
+class TestLzdLod:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_lzd_spec_semantics(self, width):
+        spec = lzd_spec(width)
+        for value in range(1 << width):
+            env = int_assignment("a", width, value)
+            count = sum(spec.outputs[f"z{k}"].evaluate(env) << k
+                        for k in range(max(1, (width - 1).bit_length())))
+            assert count == leading_zeros(value, width)
+            assert spec.outputs["v"].evaluate(env) == (1 if value else 0)
+
+    def test_lzd_sop_matches_spec(self):
+        spec = lzd_spec(8)
+        sops = lzd_sop(spec)
+        for port, sop in sops.items():
+            assert sop.to_anf() == spec.outputs[port]
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_oklobdzija_matches_spec(self, width):
+        spec = lzd_spec(width)
+        netlist = oklobdzija_lzd_netlist(width)
+        from repro.circuit import check_netlist_against_anf
+
+        assert check_netlist_against_anf(netlist, spec.outputs).equivalent
+
+    def test_oklobdzija_requires_multiple_of_4(self):
+        with pytest.raises(ValueError):
+            oklobdzija_lzd_netlist(6)
+
+    def test_lod_spec_semantics(self):
+        width = 8
+        spec = lod_spec(width)
+        for value in range(1 << width):
+            env = int_assignment("a", width, value)
+            # Leading ones = leading zeros of the complemented input.
+            expected = leading_zeros(value ^ ((1 << width) - 1), width)
+            count = sum(spec.outputs[f"z{k}"].evaluate(env) << k for k in range(3))
+            assert count == expected
+
+    def test_lod_reed_muller_is_small(self):
+        """The paper's observation: LOD stays small in Reed-Muller form, LZD does not."""
+        lod = lod_spec(16)
+        lzd = lzd_spec(16)
+        lod_terms = sum(e.num_terms for e in lod.outputs.values())
+        lzd_terms = sum(e.num_terms for e in lzd.outputs.values())
+        assert lod_terms < 100
+        assert lzd_terms > 10000
+
+    def test_lod_sop_matches_spec(self):
+        spec = lod_spec(8)
+        sops = lod_sop(spec)
+        for port, sop in sops.items():
+            assert sop.to_anf() == spec.outputs[port]
+
+
+class TestMajorityAndCounter:
+    def test_majority_spec_and_sop(self):
+        spec = majority_spec(7)
+        sop = majority_sop(spec)["maj"]
+        assert sop.num_cubes == 35
+        assert sop.to_anf() == spec.outputs["maj"]
+
+    @pytest.mark.parametrize("width", [5, 9])
+    def test_majority_semantics(self, width):
+        spec = majority_spec(width)
+        for _ in range(50):
+            value = RNG.randrange(1 << width)
+            env = int_assignment("a", width, value)
+            expected = 1 if bin(value).count("1") >= (width + 1) // 2 else 0
+            assert spec.outputs["maj"].evaluate(env) == expected
+
+    @pytest.mark.parametrize("width", [4, 9])
+    def test_counter_spec_semantics(self, width):
+        spec = counter_spec(width)
+        for value in range(1 << width) if width <= 6 else (RNG.randrange(1 << width) for _ in range(60)):
+            env = int_assignment("a", width, value)
+            count = sum(spec.outputs[f"s{k}"].evaluate(env) << k for k in range(len(spec.outputs)))
+            assert count == bin(value).count("1")
+
+    @pytest.mark.parametrize("builder", [adder_chain_counter_netlist, compressor_tree_counter_netlist])
+    def test_counter_netlists(self, builder):
+        width = 10
+        netlist = builder(width)
+        for _ in range(80):
+            value = RNG.randrange(1 << width)
+            outputs = netlist.evaluate_outputs(int_assignment("a", width, value))
+            count = sum(outputs[f"s{k}"] << k for k in range(len(outputs)))
+            assert count == bin(value).count("1")
+
+
+class TestAdders:
+    def test_adder_spec_semantics(self):
+        spec = adder_spec(5)
+        for _ in range(60):
+            x, y = RNG.randrange(32), RNG.randrange(32)
+            env = {**int_assignment("a", 5, x), **int_assignment("b", 5, y)}
+            total = sum(spec.outputs[f"s{k}"].evaluate(env) << k for k in range(6))
+            assert total == x + y
+
+    @pytest.mark.parametrize("builder", [
+        ripple_carry_adder_netlist, carry_lookahead_adder_netlist, prefix_adder_netlist,
+    ])
+    def test_adder_netlists(self, builder):
+        width = 12
+        netlist = builder(width)
+        for _ in range(80):
+            x, y = RNG.randrange(1 << width), RNG.randrange(1 << width)
+            env = {**int_assignment("a", width, x), **int_assignment("b", width, y)}
+            outputs = netlist.evaluate_outputs(env)
+            total = sum(outputs[f"s{k}"] << k for k in range(width + 1))
+            assert total == x + y
+
+    def test_three_input_adder_spec(self):
+        spec = three_input_adder_spec(4)
+        for _ in range(60):
+            x, y, z = (RNG.randrange(16) for _ in range(3))
+            env = {**int_assignment("a", 4, x), **int_assignment("b", 4, y), **int_assignment("c", 4, z)}
+            total = sum(spec.outputs[f"s{k}"].evaluate(env) << k for k in range(len(spec.outputs)))
+            assert total == x + y + z
+
+    @pytest.mark.parametrize("builder", [cascaded_rca_netlist, csa_adder_netlist])
+    def test_three_input_adder_netlists(self, builder):
+        width = 8
+        netlist = builder(width)
+        for _ in range(80):
+            x, y, z = (RNG.randrange(1 << width) for _ in range(3))
+            env = {**int_assignment("a", width, x), **int_assignment("b", width, y),
+                   **int_assignment("c", width, z)}
+            outputs = netlist.evaluate_outputs(env)
+            total = sum(outputs[f"s{k}"] << k for k in range(len(outputs)))
+            assert total == x + y + z
+
+
+class TestComparators:
+    def test_comparator_spec(self):
+        spec = comparator_spec(5)
+        for x in range(32):
+            for y in range(0, 32, 3):
+                env = {**int_assignment("a", 5, x), **int_assignment("b", 5, y)}
+                assert spec.outputs["gt"].evaluate(env) == (1 if x > y else 0)
+
+    @pytest.mark.parametrize("builder", [
+        progressive_comparator_netlist, subtracter_carry_comparator_netlist,
+    ])
+    def test_comparator_netlists(self, builder):
+        width = 12
+        netlist = builder(width)
+        for _ in range(120):
+            x, y = RNG.randrange(1 << width), RNG.randrange(1 << width)
+            env = {**int_assignment("a", width, x), **int_assignment("b", width, y)}
+            assert netlist.evaluate_outputs(env)["gt"] == (1 if x > y else 0)
+        # Equality corner case.
+        env = {**int_assignment("a", width, 77), **int_assignment("b", width, 77)}
+        assert netlist.evaluate_outputs(env)["gt"] == 0

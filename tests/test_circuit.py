@@ -1,0 +1,224 @@
+"""Tests for the gate-level netlist substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, parse
+from repro.circuit import (
+    GateError,
+    Netlist,
+    anf_to_netlist,
+    check_anf_specs_equal,
+    check_netlist_against_anf,
+    check_netlist_anf_exact,
+    check_netlists_equivalent,
+    gates,
+    netlist_to_anf,
+    sop_to_netlist,
+    structure_stats,
+    to_dot,
+)
+from repro.anf.sop import Sop
+
+
+def small_netlist():
+    netlist = Netlist("demo")
+    netlist.add_inputs(["a", "b", "c"])
+    ab = netlist.add_gate(gates.AND, ["a", "b"])
+    out = netlist.add_gate(gates.XOR, [ab, "c"])
+    netlist.set_output("f", out)
+    return netlist
+
+
+class TestNetlist:
+    def test_simulation(self):
+        netlist = small_netlist()
+        assert netlist.evaluate_outputs({"a": 1, "b": 1, "c": 0}) == {"f": 1}
+        assert netlist.evaluate_outputs({"a": 1, "b": 0, "c": 0}) == {"f": 0}
+        assert netlist.evaluate_outputs({"a": 1, "b": 1, "c": 1}) == {"f": 0}
+
+    def test_gate_validation(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(GateError):
+            netlist.add_gate(gates.NOT, ["a", "a"])
+        with pytest.raises(GateError):
+            netlist.add_gate("FOO", ["a"])
+        with pytest.raises(GateError):
+            netlist.add_gate(gates.MUX, ["a"])
+
+    def test_duplicate_driver_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        net = netlist.add_gate(gates.NOT, ["a"])
+        with pytest.raises(GateError):
+            netlist.add_gate(gates.BUF, ["a"], net)
+        with pytest.raises(GateError):
+            netlist.add_gate(gates.BUF, ["a"], "a")
+
+    def test_topological_order_and_depth(self):
+        netlist = small_netlist()
+        order = [gate.op for gate in netlist.topological_gates()]
+        assert order.index(gates.AND) < order.index(gates.XOR)
+        assert netlist.depth() == 2
+
+    def test_missing_input_value(self):
+        netlist = small_netlist()
+        with pytest.raises(GateError):
+            netlist.simulate({"a": 1, "b": 0})
+
+    def test_fanout_counts(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        x = netlist.add_gate(gates.NOT, ["a"])
+        netlist.add_gate(gates.AND, [x, "a"])
+        netlist.add_gate(gates.OR, [x, "a"])
+        counts = netlist.fanout_counts()
+        assert counts[x] == 2
+        assert counts["a"] == 3
+
+    def test_cone_extraction(self):
+        netlist = Netlist()
+        netlist.add_inputs(["a", "b", "c"])
+        x = netlist.add_gate(gates.AND, ["a", "b"])
+        y = netlist.add_gate(gates.OR, ["b", "c"])
+        netlist.set_output("x", x)
+        netlist.set_output("y", y)
+        cone = netlist.cone_of([x])
+        assert cone.num_gates == 1
+        assert set(cone.inputs) == {"a", "b"}
+
+    def test_copy_and_validate(self):
+        netlist = small_netlist()
+        clone = netlist.copy("clone")
+        clone.validate()
+        assert clone.num_gates == netlist.num_gates
+        assert clone.outputs == netlist.outputs
+
+    def test_constants_and_histogram(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        one = netlist.constant(1)
+        out = netlist.add_gate(gates.AND, ["a", one])
+        netlist.set_output("f", out)
+        assert netlist.evaluate_outputs({"a": 1}) == {"f": 1}
+        histogram = netlist.op_histogram()
+        assert histogram[gates.CONST1] == 1
+
+    def test_cycle_detection(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        # Manually create a cycle by driving a gate from a net defined later.
+        first = netlist.add_gate(gates.AND, ["a", "loop"])
+        netlist.add_gate(gates.BUF, [first], "loop")
+        with pytest.raises(GateError):
+            netlist.topological_gates()
+
+
+class TestConversions:
+    def test_anf_to_netlist_and_back(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a*b ^ c"), "g": parse(ctx, "a ^ 1")}
+        netlist = anf_to_netlist(spec)
+        assert check_netlist_against_anf(netlist, spec).equivalent
+        flattened = netlist_to_anf(netlist, ctx)
+        assert flattened["f"] == spec["f"]
+        assert flattened["g"] == spec["g"]
+
+    def test_sop_to_netlist(self):
+        ctx = Context(["a", "b", "c"])
+        sop = Sop.from_literal_names(ctx, [(("a",), ("b",)), (("b", "c"), ())])
+        netlist = sop_to_netlist({"f": sop})
+        expr = sop.to_anf()
+        assert check_netlist_against_anf(netlist, {"f": expr}).equivalent
+
+    def test_netlist_to_anf_all_gate_types(self):
+        netlist = Netlist()
+        netlist.add_inputs(["a", "b", "c"])
+        nets = {
+            "and": netlist.add_gate(gates.AND, ["a", "b"]),
+            "nand": netlist.add_gate(gates.NAND, ["a", "b"]),
+            "or": netlist.add_gate(gates.OR, ["a", "b"]),
+            "nor": netlist.add_gate(gates.NOR, ["a", "b"]),
+            "xor": netlist.add_gate(gates.XOR, ["a", "b"]),
+            "xnor": netlist.add_gate(gates.XNOR, ["a", "b"]),
+            "not": netlist.add_gate(gates.NOT, ["a"]),
+            "mux": netlist.add_gate(gates.MUX, ["a", "b", "c"]),
+            "fa_sum": netlist.add_gate(gates.FA_SUM, ["a", "b", "c"]),
+            "fa_carry": netlist.add_gate(gates.FA_CARRY, ["a", "b", "c"]),
+            "ha_sum": netlist.add_gate(gates.HA_SUM, ["a", "b"]),
+            "ha_carry": netlist.add_gate(gates.HA_CARRY, ["a", "b"]),
+        }
+        for port, net in nets.items():
+            netlist.set_output(port, net)
+        ctx = Context(netlist.inputs)
+        exprs = netlist_to_anf(netlist, ctx)
+        spec = {
+            "and": parse(ctx, "a & b"),
+            "nand": parse(ctx, "~(a & b)"),
+            "or": parse(ctx, "a | b"),
+            "nor": parse(ctx, "~(a | b)"),
+            "xor": parse(ctx, "a ^ b"),
+            "xnor": parse(ctx, "~(a ^ b)"),
+            "not": parse(ctx, "~a"),
+            "mux": parse(ctx, "a&b ^ ~a&c"),
+            "fa_sum": parse(ctx, "a ^ b ^ c"),
+            "fa_carry": parse(ctx, "a*b ^ a*c ^ b*c"),
+            "ha_sum": parse(ctx, "a ^ b"),
+            "ha_carry": parse(ctx, "a & b"),
+        }
+        assert check_anf_specs_equal(exprs, spec).equivalent
+
+    def test_exact_flatten_check(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a*b ^ c")}
+        netlist = anf_to_netlist(spec)
+        assert check_netlist_anf_exact(netlist, spec, ctx).equivalent
+
+
+class TestEquivalence:
+    def test_mismatch_reports_counterexample(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a & b")}
+        netlist = Netlist()
+        netlist.add_inputs(["a", "b"])
+        netlist.set_output("f", netlist.add_gate(gates.OR, ["a", "b"]))
+        result = check_netlist_against_anf(netlist, spec)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        assert result.mismatched_output == "f"
+
+    def test_netlists_equivalent(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a ^ b ^ c")}
+        left = anf_to_netlist(spec)
+        right = Netlist()
+        right.add_inputs(["a", "b", "c"])
+        partial = right.add_gate(gates.XOR, ["a", "b"])
+        right.set_output("f", right.add_gate(gates.XOR, [partial, "c"]))
+        assert check_netlists_equivalent(left, right).equivalent
+
+    def test_port_mismatch(self):
+        ctx = Context()
+        left = anf_to_netlist({"f": parse(ctx, "a")})
+        right = anf_to_netlist({"g": parse(ctx, "a")})
+        assert not check_netlists_equivalent(left, right).equivalent
+
+
+class TestStatsAndDot:
+    def test_structure_stats(self):
+        netlist = small_netlist()
+        stats = structure_stats(netlist)
+        assert stats.num_gates == 2
+        assert stats.num_connections == 4
+        assert stats.max_fanin == 2
+        assert stats.depth == 2
+        assert stats.max_output_cone_inputs == 3
+        assert "AND" in stats.op_histogram
+
+    def test_dot_export(self):
+        netlist = small_netlist()
+        text = to_dot(netlist)
+        assert text.startswith("digraph")
+        assert "AND" in text and "XOR" in text
+        assert '"out:f"' in text

@@ -1,0 +1,302 @@
+"""Tests for the Progressive Decomposition core: pairs, null-spaces, basis,
+optimisation, identities, and the full algorithm (including the paper's own
+worked examples)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, majority, parse, variables
+from repro.circuit import check_netlist_against_anf
+from repro.core import (
+    DecompositionOptions,
+    NullSpaceTable,
+    decomposition_to_netlist,
+    extract_basis,
+    find_group,
+    find_identities,
+    hierarchy_stats,
+    ideal_contains,
+    improve_basis_by_size_reduction,
+    initial_pairs,
+    merge_equal_parts,
+    merge_with_nullspaces,
+    minimize_basis_by_linear_dependence,
+    progressive_decomposition,
+    reduce_basis_using_identities,
+    rewrite_outputs,
+    split_over_ideals,
+)
+
+VARS = ["a", "b", "c", "d", "p", "q", "x", "y", "z"]
+
+anf_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=8), max_size=4).map(frozenset),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build(ctx, subsets):
+    terms = []
+    for subset in subsets:
+        mask = 0
+        for i in subset:
+            mask |= 1 << i
+        terms.append(mask)
+    return Anf(ctx, terms)
+
+
+class TestNullSpaces:
+    def test_ideal_membership(self):
+        ctx = Context()
+        g = parse(ctx, "a*b")
+        assert ideal_contains(g, parse(ctx, "a*b*c"))
+        assert ideal_contains(g, Anf.zero(ctx))
+        assert not ideal_contains(g, parse(ctx, "a"))
+        assert not ideal_contains(Anf.zero(ctx), parse(ctx, "a"))
+
+    def test_split_over_ideals(self):
+        ctx = Context()
+        gen_a, gen_b = parse(ctx, "z"), parse(ctx, "x")
+        element = parse(ctx, "x ^ z")
+        split = split_over_ideals(element, gen_a, gen_b)
+        assert split is not None
+        u, v = split
+        assert u ^ v == element
+        assert ideal_contains(gen_a, u)
+        assert ideal_contains(gen_b, v)
+        assert split_over_ideals(parse(ctx, "y"), gen_a, gen_b) is None
+
+    def test_nullspace_table_from_identities(self):
+        ctx = Context()
+        identities = [parse(ctx, "a*z"), parse(ctx, "b*x")]
+        table = NullSpaceTable.from_identities(ctx, identities)
+        assert table.generator_for_variable("a") == parse(ctx, "z")
+        assert table.generator_for_variable("b") == parse(ctx, "x")
+        assert table.generator_for_variable("c").is_zero
+        combined = table.generator_for_monomial(ctx.mask_of(["a", "b"]))
+        assert ideal_contains(combined, parse(ctx, "z"))
+        assert ideal_contains(combined, parse(ctx, "x"))
+
+    def test_paper_nullspace_factorisation_example(self):
+        """Section 4: (a^b)(p^cd) ^ (c^d)(p^ab) = (a^b^c^d)(p^ab^cd)."""
+        ctx = Context()
+        lhs = (parse(ctx, "a ^ b") & parse(ctx, "p ^ c*d")) ^ (
+            parse(ctx, "c ^ d") & parse(ctx, "p ^ a*b")
+        )
+        rhs = parse(ctx, "a ^ b ^ c ^ d") & parse(ctx, "p ^ a*b ^ c*d")
+        assert lhs == rhs
+
+
+class TestPairsAndBasis:
+    def test_initial_pairs_reconstruct(self):
+        ctx = Context()
+        expr = parse(ctx, "a*d ^ a*e*f ^ b*c*d ^ a*b*e ^ a*c*e ^ b*c*e*f ^ x*y")
+        pairs = initial_pairs(expr, ctx.mask_of(["a", "b", "c"]), NullSpaceTable(ctx))
+        assert pairs.reconstruct() == expr
+
+    def test_paper_findbasis_example(self):
+        """Section 5.2: basis of X w.r.t. {a,b,c} is {a^bc, ab^ac}."""
+        ctx = Context()
+        expr = parse(ctx, "a*d ^ a*e*f ^ b*c*d ^ a*b*e ^ a*c*e ^ b*c*e*f ^ x*y")
+        pairs = merge_equal_parts(
+            initial_pairs(expr, ctx.mask_of(["a", "b", "c"]), NullSpaceTable(ctx))
+        )
+        firsts = {frozenset(p.first.terms) for p in pairs.pairs}
+        expected = {
+            frozenset(parse(ctx, "a ^ b*c").terms),
+            frozenset(parse(ctx, "a*b ^ a*c").terms),
+        }
+        assert firsts == expected
+        assert pairs.remainder == parse(ctx, "x*y")
+        assert pairs.reconstruct() == expr
+
+    def test_paper_nullspace_merge_example(self):
+        """Section 5.2 second example: with az=bx=cy=0 the basis collapses to one pair."""
+        ctx = Context()
+        expr = parse(ctx, "a*p ^ b*p ^ c*p ^ a*x ^ a*y ^ b*y ^ b*z ^ c*x ^ c*z")
+        identities = [parse(ctx, "a*z"), parse(ctx, "b*x"), parse(ctx, "c*y")]
+        table = NullSpaceTable.from_identities(ctx, identities)
+        pairs = merge_equal_parts(initial_pairs(expr, ctx.mask_of(["a", "b", "c"]), table))
+        merged = merge_with_nullspaces(pairs)
+        assert len(merged.pairs) == 1
+        assert merged.pairs[0].first == parse(ctx, "a ^ b ^ c")
+        assert merged.pairs[0].second == parse(ctx, "p ^ x ^ y ^ z")
+
+    @given(anf_strategy, st.integers(min_value=1, max_value=510))
+    @settings(max_examples=50, deadline=None)
+    def test_merges_preserve_reconstruction(self, subsets, group_bits):
+        ctx = Context(VARS)
+        expr = build(ctx, subsets)
+        group_mask = group_bits & ((1 << len(VARS)) - 1)
+        if group_mask == 0:
+            group_mask = 1
+        pairs = initial_pairs(expr, group_mask, NullSpaceTable(ctx))
+        assert pairs.reconstruct() == expr
+        merged = merge_equal_parts(pairs)
+        assert merged.reconstruct() == expr
+        reduced = minimize_basis_by_linear_dependence(merged)
+        assert reduced.reconstruct() == expr
+        improved = improve_basis_by_size_reduction(reduced)
+        assert improved.reconstruct() == expr
+
+
+class TestOptimisation:
+    def test_size_reduction_paper_example(self):
+        """Section 5.4: {(a, p^q^r^s^t), (b, p^q^r^s)} shrinks to {(a^b,...),(a,t)}."""
+        ctx = Context()
+        expr = (parse(ctx, "a") & parse(ctx, "p ^ q ^ r ^ s ^ t")) ^ (
+            parse(ctx, "b") & parse(ctx, "p ^ q ^ r ^ s")
+        )
+        pairs = merge_equal_parts(initial_pairs(expr, ctx.mask_of(["a", "b"]), NullSpaceTable(ctx)))
+        before = pairs.literal_count
+        improved = improve_basis_by_size_reduction(pairs)
+        assert improved.literal_count < before
+        assert improved.reconstruct() == expr
+
+    def test_linear_dependence_reduces_basis(self):
+        ctx = Context()
+        # Construct pairs whose firsts are {u, v, u^v}: the third is dependent.
+        expr = (parse(ctx, "a") & parse(ctx, "p")) ^ (parse(ctx, "b") & parse(ctx, "q")) ^ (
+            parse(ctx, "a ^ b") & parse(ctx, "r")
+        )
+        pairs = merge_equal_parts(initial_pairs(expr, ctx.mask_of(["a", "b"]), NullSpaceTable(ctx)))
+        reduced = minimize_basis_by_linear_dependence(pairs)
+        assert len(reduced.pairs) == 2
+        assert reduced.reconstruct() == expr
+
+
+class TestIdentities:
+    def test_counter_identities(self):
+        """The section 5.5 example: e3 = e1*e2 and ei*e4 = 0 for the 4-bit counter."""
+        ctx = Context()
+        bits = variables(ctx, ctx.bus("a", 4))
+        from repro.anf import elementary_symmetric
+
+        defs = [elementary_symmetric(bits, d, ctx) for d in (1, 2, 3, 4)]
+        names = ["s1", "s2", "s3", "s4"]
+        identities = find_identities(names, defs, ctx)
+        descriptions = {identity.description for identity in identities}
+        assert "s3 = s1*s2" in descriptions
+        assert "s1*s4 = 0" in descriptions
+        assert "s2*s4 = 0" in descriptions
+        assert "s3*s4 = 0" in descriptions
+        analysis = reduce_basis_using_identities(names, defs, identities, ctx)
+        assert "s3" in analysis.replacements
+        assert analysis.replacements["s3"] == parse(ctx, "s1*s2")
+        assert analysis.kept == ["s1", "s2", "s4"]
+
+    def test_identity_soundness(self):
+        ctx = Context()
+        defs = [parse(ctx, "a"), parse(ctx, "b"), parse(ctx, "a ^ b")]
+        identities = find_identities(["u", "v", "w"], defs, ctx)
+        # No *pair* product vanishes, but the triple product a·b·(a^b) does,
+        # and the XOR dependency u ^ v ^ w = 0 must be discovered.
+        pair_products = [i for i in identities if i.kind == "product" and i.expr.degree == 2]
+        assert not pair_products
+        assert any(i.description == "u*v*w = 0" for i in identities)
+        assert any(i.kind == "definition" for i in identities)
+        # Every reported identity really is identically zero.
+        substitution = {"u": defs[0], "v": defs[1], "w": defs[2]}
+        for identity in identities:
+            assert identity.expr.substitute(substitution).is_zero
+
+
+class TestFullAlgorithm:
+    def test_majority7_counter_discovery(self):
+        """Reproduces Fig. 6: PD finds the 4:3 and 3:2 counters inside MAJ7."""
+        ctx = Context()
+        bits = ctx.bus("a", 7)
+        spec = {"maj": majority(variables(ctx, bits), ctx)}
+        decomposition = progressive_decomposition(spec, input_words=[bits])
+        assert decomposition.verify()
+        level1 = decomposition.blocks_at_level(1)
+        level1_defs = {block.definition.to_str() for block in level1}
+        # The 4-bit counter outputs (e1, e2, e4) — e3 must have been removed
+        # by the identity e3 = e1*e2.
+        assert len(level1) == 3
+        assert "a0 ^ a1 ^ a2 ^ a3" in level1_defs
+        assert "a0*a1*a2*a3" in level1_defs
+        identity_texts = [
+            identity.description
+            for record in decomposition.iterations
+            for identity in record.identities_found
+        ]
+        assert any("= t1_0*t1_1" in text for text in identity_texts)
+
+    def test_decomposition_netlist_equivalence(self):
+        ctx = Context()
+        bits = ctx.bus("a", 7)
+        spec = {"maj": majority(variables(ctx, bits), ctx)}
+        decomposition = progressive_decomposition(spec, input_words=[bits])
+        netlist = decomposition_to_netlist(decomposition)
+        assert check_netlist_against_anf(netlist, spec).equivalent
+
+    def test_multi_output_adder(self):
+        from repro.benchcircuits import adder_spec
+
+        spec = adder_spec(4)
+        decomposition = progressive_decomposition(spec.outputs, input_words=spec.input_words)
+        assert decomposition.verify()
+        netlist = decomposition_to_netlist(decomposition)
+        assert check_netlist_against_anf(netlist, spec.outputs).equivalent
+
+    def test_hierarchy_stats_and_trace(self):
+        ctx = Context()
+        bits = ctx.bus("a", 7)
+        spec = {"maj": majority(variables(ctx, bits), ctx)}
+        decomposition = progressive_decomposition(spec, input_words=[bits])
+        stats = hierarchy_stats(decomposition)
+        assert stats.num_blocks == len(decomposition.blocks)
+        assert stats.num_levels == decomposition.num_levels
+        assert stats.max_block_support <= 4 + 1
+        assert "iteration 1" in decomposition.trace()
+        assert "level 1" in decomposition.describe()
+
+    def test_options_ablation_still_correct(self):
+        ctx = Context()
+        bits = ctx.bus("a", 7)
+        spec = {"maj": majority(variables(ctx, bits), ctx)}
+        for options in (
+            DecompositionOptions(use_nullspaces=False),
+            DecompositionOptions(use_identities=False),
+            DecompositionOptions(use_size_reduction=False),
+            DecompositionOptions(use_linear_dependence=False),
+            DecompositionOptions(k=3),
+            DecompositionOptions(k=5),
+        ):
+            decomposition = progressive_decomposition(spec, options, input_words=[bits])
+            assert decomposition.verify(), options
+
+    def test_constant_and_literal_outputs(self):
+        ctx = Context()
+        spec = {"zero": Anf.zero(ctx), "one": Anf.one(ctx), "copy": Anf.var(ctx, "a")}
+        decomposition = progressive_decomposition(spec)
+        assert decomposition.verify()
+        assert decomposition.blocks == []
+
+    @given(st.lists(
+        st.lists(st.integers(min_value=0, max_value=5), max_size=4).map(frozenset),
+        min_size=1, max_size=10,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_random_expressions_roundtrip(self, subsets):
+        ctx = Context(["v0", "v1", "v2", "v3", "v4", "v5"])
+        expr = build(ctx, subsets)
+        decomposition = progressive_decomposition({"f": expr}, DecompositionOptions(k=3))
+        assert decomposition.verify()
+
+    def test_rewrite_outputs_requires_matching_substitutions(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a*b ^ c")}
+        extraction = extract_basis(spec, ["a", "b"], (), ctx)
+        with pytest.raises(ValueError):
+            rewrite_outputs(extraction, [], ctx)
+
+    def test_find_group_prefers_primary_lsbs(self):
+        from repro.benchcircuits import adder_spec
+
+        spec = adder_spec(4)
+        ctx = spec.ctx
+        group = find_group(spec.outputs, 4, ctx, spec.inputs, spec.input_words)
+        assert set(group) == {"a0", "a1", "b0", "b1"}

@@ -1,0 +1,262 @@
+"""Tests for algebraic factorisation and the synthesis substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, parse
+from repro.circuit import Netlist, check_netlist_against_anf, gates
+from repro.factor import (
+    best_kernel,
+    common_cube,
+    divide_by_cube,
+    factor,
+    is_cube_free,
+    kernels,
+    make_cube_free,
+    weak_divide,
+)
+from repro.synth import (
+    EmitContext,
+    Library,
+    StructuringError,
+    analyze_timing,
+    available_strategies,
+    build_netlist_from_expressions,
+    default_library,
+    emit_with_strategy,
+    minimize_anf_to_sop,
+    quine_mccluskey,
+    synthesize_expressions,
+    synthesize_netlist,
+    technology_map,
+)
+
+VARS = ["a", "b", "c", "d", "e"]
+
+anf_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4), max_size=4).map(frozenset),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build(ctx, subsets):
+    terms = []
+    for subset in subsets:
+        mask = 0
+        for i in subset:
+            mask |= 1 << i
+        terms.append(mask)
+    return Anf(ctx, terms)
+
+
+class TestDivision:
+    def test_common_cube_and_cube_free(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b*c ^ a*b*d")
+        assert common_cube(expr) == ctx.mask_of(["a", "b"])
+        cube, core = make_cube_free(expr)
+        assert cube == ctx.mask_of(["a", "b"])
+        assert core == parse(ctx, "c ^ d")
+        assert is_cube_free(core)
+
+    def test_divide_by_cube_identity(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ a*c ^ d")
+        quotient, remainder = divide_by_cube(expr, ctx.mask_of(["a"]))
+        assert quotient == parse(ctx, "b ^ c")
+        assert remainder == parse(ctx, "d")
+        assert (Anf.monomial(ctx, ["a"]) & quotient) ^ remainder == expr
+
+    def test_weak_divide_identity(self):
+        ctx = Context()
+        expr = parse(ctx, "a*c ^ a*d ^ b*c ^ b*d ^ e")
+        divisor = parse(ctx, "a ^ b")
+        quotient, remainder = weak_divide(expr, divisor)
+        assert quotient == parse(ctx, "c ^ d")
+        assert (quotient & divisor) ^ remainder == expr
+
+    def test_weak_divide_by_zero(self):
+        ctx = Context()
+        with pytest.raises(ZeroDivisionError):
+            weak_divide(parse(ctx, "a"), Anf.zero(ctx))
+
+    @given(anf_strategy, anf_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_weak_divide_always_exact(self, left_subsets, right_subsets):
+        ctx = Context(VARS)
+        expr = build(ctx, left_subsets)
+        divisor = build(ctx, right_subsets)
+        if divisor.is_zero:
+            return
+        quotient, remainder = weak_divide(expr, divisor)
+        assert (quotient & divisor) ^ remainder == expr
+
+
+class TestKernelsAndFactor:
+    def test_kernels_are_cube_free(self):
+        ctx = Context()
+        expr = parse(ctx, "a*c ^ a*d ^ b*c ^ b*d ^ a*e")
+        for kernel in kernels(expr):
+            assert is_cube_free(kernel.expr)
+            assert kernel.expr.num_terms >= 2
+
+    def test_best_kernel_value(self):
+        ctx = Context()
+        expr = parse(ctx, "a*c ^ a*d ^ b*c ^ b*d")
+        kernel = best_kernel(expr)
+        assert kernel is not None
+        assert kernel.expr.num_terms == 2
+
+    def test_factor_roundtrip_examples(self):
+        ctx = Context()
+        for text in ["a*b ^ a*c", "a*c ^ a*d ^ b*c ^ b*d ^ e", "a ^ b*c ^ b*d", "a*b*c"]:
+            expr = parse(ctx, text)
+            tree = factor(expr)
+            assert tree.to_anf(ctx) == expr
+            assert tree.literal_count <= expr.literal_count
+
+    @given(anf_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_factor_roundtrip_random(self, subsets):
+        ctx = Context(VARS)
+        expr = build(ctx, subsets)
+        tree = factor(expr)
+        assert tree.to_anf(ctx) == expr
+
+
+class TestTwoLevel:
+    def test_quine_mccluskey_simple(self):
+        # f = a'b + ab = b (two minterms merge into one implicant)
+        implicants = quine_mccluskey(2, [2, 3])
+        assert len(implicants) == 1
+        assert implicants[0].num_literals == 1
+
+    def test_minimize_anf_to_sop_equivalence(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ a*c ^ b*c")  # majority of 3
+        sop = minimize_anf_to_sop(expr)
+        assert sop.to_anf() == expr
+        assert sop.num_cubes == 3
+
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_quine_mccluskey_covers_exactly(self, table):
+        num_vars = 4
+        minterms = [m for m in range(16) if table >> m & 1]
+        implicants = quine_mccluskey(num_vars, minterms)
+        covered = set()
+        for implicant in implicants:
+            for m in range(16):
+                if implicant.covers(m):
+                    covered.add(m)
+        assert covered == set(minterms)
+
+
+class TestStructuringAndMapping:
+    def test_each_strategy_preserves_function(self):
+        ctx = Context()
+        expr = parse(ctx, "a*b ^ c*d ^ a*d ^ 1")
+        for strategy in available_strategies(expr):
+            netlist = Netlist(strategy)
+            netlist.add_inputs(list(expr.support))
+            emit = EmitContext(netlist, {name: name for name in expr.support})
+            net = emit_with_strategy(emit, expr, strategy)
+            netlist.set_output("f", net)
+            assert check_netlist_against_anf(netlist, {"f": expr}).equivalent, strategy
+
+    def test_sop_strategy_rejects_wide_support(self):
+        ctx = Context()
+        names = ctx.bus("x", 12)
+        expr = Anf.from_monomial_names(ctx, [[n] for n in names])
+        netlist = Netlist()
+        netlist.add_inputs(names)
+        emit = EmitContext(netlist, {name: name for name in names})
+        with pytest.raises(StructuringError):
+            emit_with_strategy(emit, expr, "sop")
+
+    def test_unknown_strategy(self):
+        ctx = Context()
+        expr = parse(ctx, "a ^ b")
+        netlist = Netlist()
+        netlist.add_inputs(["a", "b"])
+        emit = EmitContext(netlist, {"a": "a", "b": "b"})
+        with pytest.raises(StructuringError):
+            emit_with_strategy(emit, expr, "nonsense")
+
+    def test_build_netlist_multi_output(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a*b ^ c"), "g": parse(ctx, "a ^ b ^ c"), "h": Anf.one(ctx)}
+        netlist = build_netlist_from_expressions(spec, strategy="auto")
+        assert check_netlist_against_anf(netlist, spec).equivalent
+
+    def test_technology_map_preserves_function_and_assigns_cells(self):
+        ctx = Context()
+        spec = {"f": parse(ctx, "a*b*c*d ^ e"), "g": parse(ctx, "~(a | b | c)")}
+        netlist = build_netlist_from_expressions(spec, strategy="anf")
+        mapped = technology_map(netlist)
+        assert check_netlist_against_anf(mapped.netlist, spec).equivalent
+        assert mapped.area > 0
+        assert mapped.num_cells == len(mapped.netlist.gates)
+        assert sum(mapped.cell_histogram().values()) == mapped.num_cells
+
+    def test_wide_gates_decomposed(self):
+        netlist = Netlist()
+        names = [f"x{i}" for i in range(9)]
+        netlist.add_inputs(names)
+        netlist.set_output("f", netlist.add_gate(gates.AND, names))
+        mapped = technology_map(netlist)
+        max_arity = max(len(g.inputs) for g in mapped.netlist.gates)
+        assert max_arity <= 4
+        ctx = Context(names)
+        expr = Anf.one(ctx)
+        for name in names:
+            expr = expr & Anf.var(ctx, name)
+        assert check_netlist_against_anf(mapped.netlist, {"f": expr}).equivalent
+
+    def test_timing_monotone_in_depth(self):
+        ctx = Context()
+        shallow = synthesize_expressions({"f": parse(ctx, "a ^ b")}, strategy="anf")
+        deep = synthesize_expressions({"f": parse(ctx, "a ^ b ^ c ^ d ^ e ^ f ^ g ^ h")}, strategy="anf")
+        assert deep.delay > shallow.delay
+        assert deep.area > shallow.area
+
+    def test_timing_report_path(self):
+        ctx = Context()
+        result = synthesize_expressions({"f": parse(ctx, "a*b ^ c")}, strategy="anf")
+        report = result.timing
+        assert report.critical_output == "f"
+        assert report.critical_path
+        assert report.delay == pytest.approx(report.critical_path[-1].arrival)
+
+    def test_library_lookup(self):
+        library = default_library()
+        assert library.cell_for(gates.NOT, 1) is not None
+        assert library.cell_for(gates.XOR, 2) is not None
+        assert library.cell("FAX1_C").delay < library.cell("FAX1_S").delay
+        with pytest.raises(KeyError):
+            library.cell("MISSING")
+
+    def test_custom_library_rejects_unmappable(self):
+        tiny = Library("tiny", [])
+        netlist = Netlist()
+        netlist.add_inputs(["a", "b"])
+        netlist.set_output("f", netlist.add_gate(gates.AND, ["a", "b"]))
+        from repro.synth import MappingError
+
+        with pytest.raises(MappingError):
+            technology_map(netlist, tiny)
+
+    def test_synthesize_netlist_summary(self):
+        netlist = Netlist("rca2")
+        netlist.add_inputs(["a0", "a1", "b0", "b1"])
+        s0 = netlist.add_gate(gates.HA_SUM, ["a0", "b0"])
+        c0 = netlist.add_gate(gates.HA_CARRY, ["a0", "b0"])
+        s1 = netlist.add_gate(gates.FA_SUM, ["a1", "b1", c0])
+        netlist.set_output("s0", s0)
+        netlist.set_output("s1", s1)
+        result = synthesize_netlist(netlist)
+        summary = result.summary()
+        assert summary["cells"] == 3
+        assert summary["area_um2"] > 0
+        assert summary["delay_ns"] > 0

@@ -1,0 +1,136 @@
+"""Tests for the GF(2) linear algebra package."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.anf import Anf, Context, parse
+from repro.gf2 import (
+    GF2Matrix,
+    XorSpan,
+    are_linearly_independent,
+    expression_in_span,
+    expressions_rank,
+    find_expression_dependency,
+    find_linear_dependency,
+    solve_xor_combination,
+    span_rank,
+)
+
+
+class TestMatrix:
+    def test_rank_and_rref(self):
+        matrix = GF2Matrix.from_lists([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        assert matrix.rank() == 2
+
+    def test_identity_rank(self):
+        matrix = GF2Matrix.from_lists([[1, 0], [0, 1]])
+        assert matrix.rank() == 2
+
+    def test_nullspace(self):
+        # Columns: c0 ^ c2 = 0 and c1 ^ c3 = 0 in this matrix.
+        matrix = GF2Matrix.from_lists([[1, 0, 1, 0], [0, 1, 0, 1]])
+        basis = matrix.nullspace_basis()
+        assert len(basis) == 2
+        for combo in basis:
+            assert matrix.multiply_vector(combo) == 0
+
+    def test_transpose_roundtrip(self):
+        rows = [[1, 1, 0], [0, 1, 1]]
+        matrix = GF2Matrix.from_lists(rows)
+        assert matrix.transpose().transpose().to_lists() == rows
+
+    def test_solve_xor_combination(self):
+        targets = [0b011, 0b101, 0b110]
+        combo = solve_xor_combination(targets, 0b110, 3)
+        assert combo is not None
+        folded = 0
+        for i in range(len(targets)):
+            if combo >> i & 1:
+                folded ^= targets[i]
+        assert folded == 0b110
+        assert solve_xor_combination([0b001, 0b010], 0b100) is None
+
+
+class TestXorSpan:
+    def test_add_and_contains(self):
+        span = XorSpan()
+        assert span.add(0b01)
+        assert span.add(0b10)
+        assert not span.add(0b11)  # dependent
+        assert span.dimension == 2
+        assert span.contains(0b11)
+        assert not span.contains(0b100)
+
+    def test_combination_for(self):
+        span = XorSpan([0b011, 0b101])
+        combo = span.combination_for(0b110)
+        assert combo is not None
+        folded = 0
+        for i, vector in enumerate([0b011, 0b101]):
+            if combo >> i & 1:
+                folded ^= vector
+        assert folded == 0b110
+
+    def test_find_linear_dependency(self):
+        assert find_linear_dependency([0b01, 0b10, 0b11]) == (2, 0b11)
+        assert find_linear_dependency([0b01, 0b10]) is None
+        index, combo = find_linear_dependency([0b01, 0])
+        assert index == 1 and combo == 0
+
+    def test_are_linearly_independent(self):
+        assert are_linearly_independent([1, 2, 4])
+        assert not are_linearly_independent([1, 2, 3])
+
+    def test_span_rank(self):
+        assert span_rank([1, 2, 3, 4]) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_dependency_explains_vector(self, vectors):
+        dependency = find_linear_dependency(vectors)
+        if dependency is None:
+            # All vectors independent: rank equals count.
+            assert span_rank(vectors) == len(vectors)
+        else:
+            index, combo = dependency
+            folded = 0
+            for j in range(index):
+                if combo >> j & 1:
+                    folded ^= vectors[j]
+            assert folded == vectors[index]
+
+
+class TestExpressionLinearAlgebra:
+    def test_dependency_among_expressions(self):
+        ctx = Context()
+        a, b = Anf.var(ctx, "a"), Anf.var(ctx, "b")
+        result = find_expression_dependency([a, b, a ^ b])
+        assert result == (2, [0, 1])
+        assert find_expression_dependency([a, b]) is None
+
+    def test_expression_in_span(self):
+        ctx = Context()
+        exprs = [parse(ctx, "a ^ b"), parse(ctx, "b ^ c"), parse(ctx, "a*b")]
+        combo = expression_in_span(parse(ctx, "a ^ c"), exprs)
+        assert combo is not None
+        folded = Anf.zero(ctx)
+        for index in combo:
+            folded = folded ^ exprs[index]
+        assert folded == parse(ctx, "a ^ c")
+        assert expression_in_span(parse(ctx, "c"), exprs[:1]) is None
+
+    def test_expressions_rank(self):
+        ctx = Context()
+        exprs = [parse(ctx, "a"), parse(ctx, "b"), parse(ctx, "a ^ b")]
+        assert expressions_rank(exprs) == 2
+
+    def test_lzd_basis_reduction_example(self):
+        """The paper's 5.3 example: {V0, P00, P01, V0+P00, V0+P01} has rank 3."""
+        ctx = Context()
+        v0 = parse(ctx, "a0 | a1 | a2 | a3")
+        p00 = parse(ctx, "a3 ^ ~a3*~a2*a1")
+        p01 = parse(ctx, "a3 ^ ~a3*a2")
+        exprs = [v0, p00, p01, v0 ^ p00, v0 ^ p01]
+        assert expressions_rank(exprs) == 3
+        dependency = find_expression_dependency(exprs)
+        assert dependency is not None
+        assert dependency[0] == 3
