@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark harness for the Progressive Decomposition flow.
+
+Runs the Table-1-row benchmark circuits end to end (decompose -> structure ->
+synthesise), records per-circuit wall-clock and decomposition quality metrics,
+and writes a ``BENCH_*.json`` file that later runs can be compared against::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --out benchmarks/BENCH_hotpaths.json
+    PYTHONPATH=src python benchmarks/run_bench.py --compare benchmarks/BENCH_baseline.json
+
+Two width settings are provided (see ``benchmarks/README.md``):
+
+* ``--quick`` (default): intermediate widths where the runtime is dominated by
+  the decomposition engine itself rather than fixed per-call overheads; the
+  whole sweep finishes in well under two minutes even on the seed code.
+* ``--full``: the paper's own Table 1 widths (the widths ``build_table1``
+  uses when ``quick=False``), which were impractical to iterate on before the
+  word-parallel kernel landed.
+
+``--compare BASELINE.json`` re-checks two things and exits non-zero on either
+failure: a wall-clock regression of more than ``--tolerance`` (default 20%)
+on any circuit or on the total, and any change in the decomposition results
+(literal counts, block/level structure, or a failed ``Decomposition.verify``)
+— the fast paths must be observationally identical, not just fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+# Allow running as a plain script without PYTHONPATH=src.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.benchcircuits import (  # noqa: E402
+    adder_spec,
+    comparator_spec,
+    counter_spec,
+    lod_spec,
+    lzd_spec,
+    majority_spec,
+    three_input_adder_spec,
+)
+from repro.eval.flows import run_progressive_flow  # noqa: E402
+from repro.synth import default_library  # noqa: E402
+
+SCHEMA = "repro-bench-v1"
+
+# circuit name -> (spec builder, quick width, full width).  The full widths
+# match ``repro.eval.table1.build_table1(quick=False)`` (the adder's width is
+# the Progressive Decomposition width, the structural variants are untimed).
+CIRCUITS: Dict[str, tuple[Callable, int, int]] = {
+    "lzd": (lzd_spec, 14, 16),
+    "lod": (lod_spec, 28, 32),
+    "majority": (majority_spec, 13, 15),
+    "counter": (counter_spec, 14, 16),
+    "adder": (adder_spec, 11, 12),
+    "comparator": (comparator_spec, 12, 15),
+    "three_input_adder": (three_input_adder_spec, 6, 6),
+}
+
+
+def bench_circuit(name: str, width: int, repeats: int, library) -> Dict[str, object]:
+    """Time the progressive flow on one circuit and collect its result metrics."""
+    builder = CIRCUITS[name][0]
+    spec = builder(width)
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run_progressive_flow(spec.outputs, spec.input_words, library=library)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    decomposition = result.decomposition
+    return {
+        "width": width,
+        "seconds": round(best, 4),
+        "verify": decomposition.verify(),
+        "blocks": len(decomposition.blocks),
+        "levels": decomposition.num_levels,
+        "block_literals": decomposition.total_block_literals(),
+        "output_literals": sum(
+            expr.literal_count for expr in decomposition.outputs.values()
+        ),
+        "area": round(result.area, 1),
+        "delay": round(result.delay, 3),
+    }
+
+
+RESULT_KEYS = ("width", "blocks", "levels", "block_literals", "output_literals")
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object], tolerance: float) -> int:
+    """Compare a fresh run against a recorded baseline; return the exit code."""
+    failures = []
+    base_circuits = baseline.get("circuits", {})
+    cur_circuits = current["circuits"]
+    for name, cur in cur_circuits.items():
+        base = base_circuits.get(name)
+        if base is None:
+            print(f"  {name:20s} (not in baseline, skipped)")
+            continue
+        for key in RESULT_KEYS:
+            if cur.get(key) != base.get(key):
+                failures.append(
+                    f"{name}: {key} changed {base.get(key)} -> {cur.get(key)}"
+                )
+        if not cur["verify"]:
+            failures.append(f"{name}: Decomposition.verify() failed")
+        ratio = cur["seconds"] / base["seconds"] if base["seconds"] else 1.0
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower ({base['seconds']}s -> {cur['seconds']}s)"
+            )
+            status = "REGRESSION"
+        speedup = 1.0 / ratio if ratio else float("inf")
+        print(
+            f"  {name:20s} {base['seconds']:>8.3f}s -> {cur['seconds']:>8.3f}s "
+            f"({speedup:5.2f}x) {status}"
+        )
+    base_total = baseline.get("total_seconds")
+    if base_total:
+        ratio = current["total_seconds"] / base_total
+        print(
+            f"  {'TOTAL':20s} {base_total:>8.3f}s -> {current['total_seconds']:>8.3f}s "
+            f"({1.0 / ratio:5.2f}x)"
+        )
+        if ratio > 1.0 + tolerance:
+            failures.append(f"total: {ratio:.2f}x slower")
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno regressions, decomposition results identical")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the results to this JSON file")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="compare against a recorded baseline run")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown before --compare fails")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's Table 1 widths instead of the quick ones")
+    parser.add_argument("--rows", nargs="*", choices=sorted(CIRCUITS),
+                        help="benchmark only these circuits")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per circuit (best is recorded)")
+    args = parser.parse_args(argv)
+
+    library = default_library()
+    selected = args.rows if args.rows else list(CIRCUITS)
+    mode = "full" if args.full else "quick"
+    results: Dict[str, object] = {}
+    total = 0.0
+    for name in selected:
+        _, quick_width, full_width = CIRCUITS[name]
+        width = full_width if args.full else quick_width
+        entry = bench_circuit(name, width, args.repeats, library)
+        results[name] = entry
+        total += entry["seconds"]
+        print(
+            f"{name:20s} width={entry['width']:<3d} {entry['seconds']:>9.3f}s  "
+            f"blocks={entry['blocks']:<3d} literals={entry['block_literals']:<4d} "
+            f"verify={entry['verify']}",
+            flush=True,
+        )
+
+    record = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "circuits": results,
+        "total_seconds": round(total, 4),
+    }
+    print(f"{'TOTAL':20s}           {total:>9.3f}s")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        print(f"\ncomparing against {args.compare} (tolerance {args.tolerance:.0%}):")
+        return compare(record, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ XOR-of-products expressions (:class:`Anf`), SOP cube lists, truth tables,
 symbolic bit-vectors (:class:`Word`) and a small infix parser.
 """
 
+from .bitset import BitsetKernel, kernel_for_exprs, kernel_for_support, truth_table
 from .builders import (
     and_all,
     elementary_symmetric,
@@ -33,6 +34,7 @@ from .word import Word, carry_save_reduce, popcount_word
 
 __all__ = [
     "Anf",
+    "BitsetKernel",
     "Context",
     "ContextError",
     "Cube",
@@ -53,6 +55,8 @@ __all__ = [
     "full_adder",
     "half_adder",
     "implies",
+    "kernel_for_exprs",
+    "kernel_for_support",
     "majority",
     "mux",
     "not_",
@@ -62,6 +66,7 @@ __all__ = [
     "popcount_word",
     "threshold",
     "true",
+    "truth_table",
     "var",
     "variables",
     "xor_all",

@@ -1,0 +1,214 @@
+"""Word-parallel semantic kernel: packed truth-bitsets of ANF expressions.
+
+The decomposition engine asks many *semantic* questions about small groups of
+expressions — "is this product identically zero?", "does this element lie in
+that principal ideal?", "is ``s_i`` exactly ``s_j·s_k``?".  Answering them
+symbolically multiplies Reed-Muller forms term by term, which is quadratic in
+the term counts.  This module answers them by evaluating each expression over
+*all* ``2^m`` assignments of its support at once, packed into a single Python
+integer (bit ``p`` holds the function value under assignment ``p``), so a
+semantic query becomes one or two bigint AND/XOR operations.
+
+The truth bitset of an expression is computed from its monomial set by the
+word-parallel zeta (Moebius) transform over GF(2): seed a ``2^m``-bit integer
+with one bit per monomial, then run the ``m`` butterfly levels as masked
+shifts.  The whole transform is ``O(m)`` bigint operations regardless of the
+term count, which is what makes the kernel "as fast as the hardware allows"
+for the supports the identity search actually sees (a handful of variables).
+
+Because the Reed-Muller form is canonical, truth-bitset equality over a
+covering support is *exactly* ANF equality — every fast path here is an exact
+replacement for the symbolic computation, never an approximation.  Supports
+wider than :data:`DEFAULT_MAX_VARS` fall back to the symbolic path at the
+call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .context import Context
+from .expression import Anf
+
+#: Widest support (in variables) the kernel will pack; 2^16-bit integers are
+#: 8 KiB each, which keeps per-kernel caches comfortably small.
+DEFAULT_MAX_VARS = 16
+
+#: Per-kernel truth-cache bound (entries are up to ``2^m``-bit integers).
+TRUTH_CACHE_LIMIT = 4096
+
+# (shift, mask) butterfly schedule per support size m, shared by all kernels.
+_ZETA_SCHEDULE: Dict[int, List[Tuple[int, int]]] = {}
+
+
+def _zeta_schedule(m: int) -> List[Tuple[int, int]]:
+    """The masked-shift schedule of the ``m``-dimensional zeta transform.
+
+    Level ``d`` XORs every position with bit ``d`` clear into its partner
+    with bit ``d`` set: ``F ^= (F & mask_d) << 2^d`` where ``mask_d`` selects
+    the low half of every ``2^(d+1)``-aligned block.
+    """
+    schedule = _ZETA_SCHEDULE.get(m)
+    if schedule is None:
+        size = 1 << m
+        schedule = []
+        for d in range(m):
+            shift = 1 << d
+            pattern = (1 << shift) - 1
+            width = shift << 1
+            while width < size:
+                pattern |= pattern << width
+                width <<= 1
+            schedule.append((shift, pattern))
+        _ZETA_SCHEDULE[m] = schedule
+    return schedule
+
+
+class BitsetKernel:
+    """Evaluates expressions over a fixed support as packed truth-bitsets.
+
+    The kernel is bound to a support (a set of context variable indices);
+    every expression queried through it must stay inside that support.  Truth
+    bitsets are cached per expression — the identity search queries the same
+    basis definitions O(n^3) times.
+    """
+
+    __slots__ = ("_ctx", "_support_mask", "_num_vars", "_position_of", "_schedule", "_cache")
+
+    def __init__(self, ctx: Context, support_mask: int) -> None:
+        if support_mask < 0:
+            raise ValueError("support mask must be non-negative")
+        self._ctx = ctx
+        self._support_mask = support_mask
+        positions: Dict[int, int] = {}
+        mask = support_mask
+        while mask:
+            low = mask & -mask
+            positions[low] = len(positions)
+            mask ^= low
+        self._position_of = positions
+        self._num_vars = len(positions)
+        self._schedule = _zeta_schedule(self._num_vars)
+        self._cache: Dict[Anf, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def ctx(self) -> Context:
+        return self._ctx
+
+    @property
+    def support_mask(self) -> int:
+        return self._support_mask
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_points(self) -> int:
+        """Number of assignments evaluated in parallel."""
+        return 1 << self._num_vars
+
+    def covers(self, expr: Anf) -> bool:
+        """True when every variable of ``expr`` lies inside this support."""
+        return expr.support_mask & ~self._support_mask == 0
+
+    # ------------------------------------------------------------------
+    def truth(self, expr: Anf) -> int:
+        """The packed truth bitset of ``expr`` over this kernel's support.
+
+        Bit ``p`` of the result is the value of ``expr`` under the assignment
+        that sets exactly the support variables selected by ``p`` (position
+        ``i`` of ``p`` is the ``i``-th lowest variable of the support).
+        """
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        self._ctx.require_same(expr.ctx)
+        if not self.covers(expr):
+            raise ValueError("expression uses variables outside the kernel support")
+        positions = self._position_of
+        seed = 0
+        for term in expr.terms:
+            local = 0
+            mask = term
+            while mask:
+                low = mask & -mask
+                local |= 1 << positions[low]
+                mask ^= low
+            seed |= 1 << local
+        for shift, pattern in self._schedule:
+            seed ^= (seed & pattern) << shift
+        if len(self._cache) >= TRUTH_CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[expr] = seed
+        return seed
+
+    # ------------------------------------------------------------------
+    # Semantic queries (each an exact replacement for a symbolic test)
+    # ------------------------------------------------------------------
+    def product_is_zero(self, *exprs: Anf) -> bool:
+        """Exact test ``expr_1 · … · expr_n == 0``."""
+        if not exprs:
+            return False
+        acc = self.truth(exprs[0])
+        for expr in exprs[1:]:
+            if not acc:
+                return True
+            acc &= self.truth(expr)
+        return not acc
+
+    def xor_is_zero(self, *exprs: Anf) -> bool:
+        """Exact test ``expr_1 ⊕ … ⊕ expr_n == 0``."""
+        acc = 0
+        for expr in exprs:
+            acc ^= self.truth(expr)
+        return not acc
+
+    def contains_product(self, left: Anf, right: Anf, target: Anf) -> bool:
+        """Exact test ``target == left · right`` (definitional identity)."""
+        return self.truth(target) == self.truth(left) & self.truth(right)
+
+    def divides(self, generator: Anf, element: Anf) -> bool:
+        """Exact ideal-membership test ``element ∈ ideal(generator)``.
+
+        In a Boolean ring ``D`` is a multiple of ``G`` iff ``D·G = D``, i.e.
+        the truth set of ``D`` is contained in the truth set of ``G``.
+        """
+        return self.truth(element) & ~self.truth(generator) == 0
+
+
+def kernel_for_support(ctx: Context, support_mask: int,
+                       max_vars: int = DEFAULT_MAX_VARS) -> Optional[BitsetKernel]:
+    """A (context-cached) kernel for the given support, or ``None`` if too wide."""
+    if support_mask.bit_count() > max_vars:
+        return None
+    kernels = ctx._kernels
+    kernel = kernels.get(support_mask)
+    if kernel is None:
+        kernel = BitsetKernel(ctx, support_mask)
+        if len(kernels) >= Context.KERNEL_LIMIT:
+            kernels.clear()
+        kernels[support_mask] = kernel
+    return kernel
+
+
+def kernel_for_exprs(exprs: Iterable[Anf], ctx: Context,
+                     max_vars: int = DEFAULT_MAX_VARS) -> Optional[BitsetKernel]:
+    """A kernel covering the joint support of ``exprs``, or ``None`` if too wide."""
+    joint = 0
+    for expr in exprs:
+        joint |= expr.support_mask
+    return kernel_for_support(ctx, joint, max_vars)
+
+
+def truth_table(expr: Anf) -> Tuple[int, int]:
+    """``(support_mask, bitset)`` of ``expr`` over its own support.
+
+    Convenience for tests and debugging; raises when the support is wider
+    than :data:`DEFAULT_MAX_VARS`.
+    """
+    kernel = kernel_for_support(expr.ctx, expr.support_mask)
+    if kernel is None:
+        raise ValueError("expression support is too wide for a packed truth table")
+    return expr.support_mask, kernel.truth(expr)

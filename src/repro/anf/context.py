@@ -25,11 +25,21 @@ class Context:
     monomials remain valid for the lifetime of the context.
     """
 
-    __slots__ = ("_name_to_index", "_names")
+    __slots__ = ("_name_to_index", "_names", "_product_memo", "_kernels")
+
+    #: Bound on the number of memoised products / truth-table kernels kept per
+    #: context; both caches are cleared wholesale when they outgrow it.
+    PRODUCT_MEMO_LIMIT = 1 << 14
+    KERNEL_LIMIT = 64
 
     def __init__(self, names: Iterable[str] = ()) -> None:
         self._name_to_index: dict[str, int] = {}
         self._names: list[str] = []
+        # Caches scoped to this context (see Anf.cached_and and anf.bitset):
+        # expression products recur heavily in the rewrite step, and truth
+        # bitset kernels recur per support set in the identity search.
+        self._product_memo: dict = {}
+        self._kernels: dict = {}
         for name in names:
             self.add_var(name)
 

@@ -24,19 +24,26 @@ Operators:
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping
 
 from .context import Context, ContextError
 
 
 def _popcount(mask: int) -> int:
-    return bin(mask).count("1")
+    return mask.bit_count()
 
 
 class Anf:
-    """An immutable Boolean-ring (XOR-of-products) expression."""
+    """An immutable Boolean-ring (XOR-of-products) expression.
 
-    __slots__ = ("_ctx", "_terms", "_hash")
+    Derived metrics that the decomposition engine queries in its inner loops
+    (:attr:`support_mask`, :attr:`degree`, :attr:`literal_count`) are computed
+    lazily and cached; the expression itself is immutable so the caches never
+    invalidate.
+    """
+
+    __slots__ = ("_ctx", "_terms", "_hash", "_support_mask", "_degree", "_literal_count")
 
     def __init__(self, ctx: Context, terms: Iterable[int] = ()) -> None:
         """Build an expression from monomial bitmasks.
@@ -57,6 +64,9 @@ class Anf:
         self._ctx = ctx
         self._terms: FrozenSet[int] = frozenset(collected)
         self._hash: int | None = None
+        self._support_mask: int | None = None
+        self._degree: int | None = None
+        self._literal_count: int | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -68,6 +78,9 @@ class Anf:
         expr._ctx = ctx
         expr._terms = terms
         expr._hash = None
+        expr._support_mask = None
+        expr._degree = None
+        expr._literal_count = None
         return expr
 
     @classmethod
@@ -158,10 +171,13 @@ class Anf:
 
     @property
     def support_mask(self) -> int:
-        """Bitmask of every variable appearing in the expression."""
-        mask = 0
-        for term in self._terms:
-            mask |= term
+        """Bitmask of every variable appearing in the expression (cached)."""
+        mask = self._support_mask
+        if mask is None:
+            mask = 0
+            for term in self._terms:
+                mask |= term
+            self._support_mask = mask
         return mask
 
     @property
@@ -171,15 +187,24 @@ class Anf:
 
     @property
     def degree(self) -> int:
-        """Largest monomial size (0 for constants)."""
-        if not self._terms:
-            return 0
-        return max(_popcount(mask) for mask in self._terms)
+        """Largest monomial size (0 for constants, cached)."""
+        degree = self._degree
+        if degree is None:
+            if not self._terms:
+                degree = 0
+            else:
+                degree = max(mask.bit_count() for mask in self._terms)
+            self._degree = degree
+        return degree
 
     @property
     def literal_count(self) -> int:
-        """Total number of literal occurrences (the paper's size metric)."""
-        return sum(_popcount(mask) for mask in self._terms)
+        """Total number of literal occurrences (the paper's size metric, cached)."""
+        count = self._literal_count
+        if count is None:
+            count = sum(mask.bit_count() for mask in self._terms)
+            self._literal_count = count
+        return count
 
     def depends_on(self, name: str) -> bool:
         """True when the variable ``name`` appears in some monomial."""
@@ -208,6 +233,15 @@ class Anf:
             return other
         if other.is_one:
             return self
+        if self.support_mask & other.support_mask == 0:
+            # Disjoint supports make (left, right) -> left | right injective
+            # (each factor is recovered by masking with its own support), so
+            # no mod-2 cancellation can occur and the pairwise unions are the
+            # product's canonical term set as-is.
+            return Anf._raw(
+                self._ctx,
+                frozenset(left | right for left in self._terms for right in other._terms),
+            )
         # Multiply the smaller operand into the larger one.
         small, large = (self._terms, other._terms)
         if len(small) > len(large):
@@ -222,9 +256,37 @@ class Anf:
                     acc.add(product)
         return Anf._raw(self._ctx, frozenset(acc))
 
+    def cached_and(self, other: "Anf") -> "Anf":
+        """Ring product via the context-scoped memo.
+
+        The rewrite step multiplies the same ``replacement`` into the same
+        tag components over and over across ports and iterations; memoising
+        on the (canonical, hash-cached) term sets makes the repeats O(1).
+        Only worthwhile for products that are themselves non-trivial — tiny
+        operands go straight to :meth:`__and__`.
+        """
+        self._check(other)
+        if len(self._terms) * len(other._terms) < 4:
+            return self & other
+        memo = self._ctx._product_memo
+        # Products commute; normalise the key so (a, b) and (b, a) share one
+        # memo slot (hash ties keep both orders as distinct keys, which is
+        # merely a missed dedup, never a wrong answer).
+        left, right = self._terms, other._terms
+        if hash(left) > hash(right):
+            left, right = right, left
+        key = (left, right)
+        product = memo.get(key)
+        if product is None:
+            product = self & other
+            if len(memo) >= Context.PRODUCT_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = product
+        return product
+
     def __or__(self, other: "Anf") -> "Anf":
         self._check(other)
-        return self ^ other ^ (self & other)
+        return self ^ other ^ self.cached_and(other)
 
     def __invert__(self) -> "Anf":
         return Anf._raw(self._ctx, self._terms.symmetric_difference({0}))
@@ -366,26 +428,21 @@ class Anf:
         group variable at all.  The expression equals
         ``XOR_g (g & bucket[g]) ^ remainder``.
         """
-        buckets: dict[int, set[int]] = {}
-        remainder: set[int] = set()
+        # The terms are distinct and (group part, rest part) determines the
+        # term, so no mod-2 cancellation can occur while bucketing — plain
+        # list appends suffice and every bucket is non-empty by construction.
+        buckets: defaultdict[int, list[int]] = defaultdict(list)
+        remainder: list[int] = []
+        remainder_append = remainder.append
         for term in self._terms:
             group_part = term & group_mask
-            rest_part = term & ~group_mask
             if group_part == 0:
-                if rest_part in remainder:
-                    remainder.discard(rest_part)
-                else:
-                    remainder.add(rest_part)
+                remainder_append(term)
             else:
-                bucket = buckets.setdefault(group_part, set())
-                if rest_part in bucket:
-                    bucket.discard(rest_part)
-                else:
-                    bucket.add(rest_part)
+                buckets[group_part].append(term ^ group_part)
         result = {
             group_part: Anf._raw(self._ctx, frozenset(rest))
             for group_part, rest in buckets.items()
-            if rest
         }
         return result, Anf._raw(self._ctx, frozenset(remainder))
 

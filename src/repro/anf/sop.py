@@ -33,7 +33,7 @@ class Cube:
 
     @property
     def num_literals(self) -> int:
-        return bin(self.positive).count("1") + bin(self.negative).count("1")
+        return self.positive.bit_count() + self.negative.bit_count()
 
     def contains_point(self, ones_mask: int) -> bool:
         """True when the minterm ``ones_mask`` satisfies this cube."""

@@ -53,7 +53,9 @@ def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Di
         ctx.require_same(expr.ctx)
         tag = tag_name_for(port)
         tag_of_port[port] = tag
-        combined = combined ^ (Anf.var(ctx, tag) & expr)
+        # The tag products recur (findGroup and findBasis both combine the
+        # same outputs each iteration); the context memo makes the repeat free.
+        combined = combined ^ Anf.var(ctx, tag).cached_and(expr)
     return combined, tag_of_port
 
 

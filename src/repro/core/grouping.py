@@ -10,14 +10,13 @@ and by a co-occurrence heuristic when exhaustive search would be too costly.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from itertools import combinations
 from typing import Dict, List, Mapping, Sequence
 
 from ..anf.context import Context
 from ..anf.expression import Anf
 from .basis import combine_with_tags
-from .nullspace import NullSpaceTable
-from .pairs import initial_pairs, merge_equal_parts
 
 MAX_EXHAUSTIVE_CANDIDATES = 300
 
@@ -66,25 +65,89 @@ def score_group(
 
     Each basis element is replaced by a single new literal, so the estimate is
     ``#pairs + Σ |second_i| + |remainder|`` after the cheap equal-part merge.
+    ``identities`` is accepted for call-site compatibility but cannot change
+    the estimate: null-space generators never steer the equal-part merge.
     """
     combined, _ = combine_with_tags(outputs, ctx)
-    nullspaces = NullSpaceTable.from_identities(ctx, identities)
-    pair_list = merge_equal_parts(initial_pairs(combined, ctx.mask_of(group), nullspaces))
-    total = len(pair_list.pairs)
-    total += sum(pair.second.literal_count for pair in pair_list.pairs)
-    if pair_list.remainder is not None:
-        total += pair_list.remainder.literal_count
+    return _score_combined(tuple(combined.terms), ctx.mask_of(group))
+
+
+def _score_combined(terms: tuple, group_mask: int) -> int:
+    """Score one candidate group against a pre-built tagged combination.
+
+    This replays ``initial_pairs`` + ``merge_equal_parts`` on raw term sets
+    — no Anf/Pair/null-space objects, since none of them influence the score:
+    null generators never steer the equal-part merge, and the merge fixpoint
+    is order-independent.  The combined expression only depends on the
+    outputs, not on the candidate group, so exhaustive search tokenises it
+    once and calls this for every subset (the seed rebuilt everything per
+    candidate, which dominated the comparator benchmarks).
+    """
+    # Bucket each monomial by its group part.  Terms are distinct and the
+    # (group, rest) split is injective, so no cancellation is possible here.
+    buckets: defaultdict[int, list[int]] = defaultdict(list)
+    remainder_literals = 0
+    for term in terms:
+        group_part = term & group_mask
+        if group_part == 0:
+            remainder_literals += term.bit_count()
+        else:
+            buckets[group_part].append(term ^ group_part)
+    # merge_equal_parts on (first, second) frozenset pairs: XOR-merge equal
+    # seconds, drop empty firsts, XOR-merge equal firsts, drop empty seconds.
+    pairs: list[tuple[frozenset, frozenset]] = [
+        (frozenset((group_part,)), frozenset(rest)) for group_part, rest in buckets.items()
+    ]
+    changed = True
+    while changed:
+        changed = False
+        by_second: dict[frozenset, frozenset] = {}
+        for first, second in pairs:
+            existing = by_second.get(second)
+            if existing is None:
+                by_second[second] = first
+            else:
+                by_second[second] = existing ^ first
+                changed = True
+        merged = [(first, second) for second, first in by_second.items() if first]
+        by_first: dict[frozenset, frozenset] = {}
+        for first, second in merged:
+            existing = by_first.get(first)
+            if existing is None:
+                by_first[first] = second
+            else:
+                by_first[first] = existing ^ second
+                changed = True
+        pairs = [(first, second) for first, second in by_first.items() if second]
+    total = len(pairs) + remainder_literals
+    for _, second in pairs:
+        for term in second:
+            total += term.bit_count()
     return total
 
 
 def _cooccurrence_group(outputs: Mapping[str, Anf], candidates: Sequence[str], ctx: Context, k: int) -> List[str]:
     """Greedy group construction by monomial co-occurrence."""
-    indices = {name: ctx.index(name) for name in candidates}
+    candidate_mask = 0
+    name_of_bit: Dict[int, str] = {}
+    for name in candidates:
+        bit = 1 << ctx.index(name)
+        candidate_mask |= bit
+        name_of_bit[bit] = name
     cooccur: Dict[tuple[str, str], int] = {}
     occurrence: Dict[str, int] = {name: 0 for name in candidates}
     for expr in outputs.values():
         for term in expr.terms:
-            present = [name for name in candidates if term >> indices[name] & 1]
+            present_mask = term & candidate_mask
+            if not present_mask:
+                continue
+            # Iterating set bits walks ascending variable indices, which is
+            # the candidates' own order (they come from ``names_of``).
+            present = []
+            while present_mask:
+                bit = present_mask & -present_mask
+                present.append(name_of_bit[bit])
+                present_mask ^= bit
             for name in present:
                 occurrence[name] += 1
             for left, right in combinations(present, 2):
@@ -140,10 +203,12 @@ def find_group(
     from math import comb
 
     if comb(len(candidates), size) <= MAX_EXHAUSTIVE_CANDIDATES:
+        combined, _ = combine_with_tags(outputs, ctx)
+        combined_terms = tuple(combined.terms)
         best_group: List[str] | None = None
         best_score = None
         for subset in combinations(candidates, size):
-            score = score_group(outputs, subset, ctx, identities)
+            score = _score_combined(combined_terms, ctx.mask_of(subset))
             if best_score is None or score < best_score:
                 best_score = score
                 best_group = list(subset)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Sequence
 
+from ..anf.bitset import kernel_for_exprs
 from ..anf.context import Context
 from ..anf.expression import Anf
 
@@ -59,10 +60,28 @@ def find_identities(
     def var(i: int) -> Anf:
         return Anf.var(ctx, names[i])
 
+    # Semantic queries go through the word-parallel truth-bitset kernel when
+    # the joint support is narrow enough (it always is for the paper's k = 4
+    # groups); every test below is an exact replacement for the symbolic one.
+    kernel = kernel_for_exprs(definitions, ctx)
+    truths = [kernel.truth(expr) for expr in definitions] if kernel else None
+    supports = [expr.support_mask for expr in definitions]
+    nonzero = [not expr.is_zero for expr in definitions]
+
+    def pair_product_is_zero(i: int, j: int) -> bool:
+        if supports[i] & supports[j] == 0:
+            # Nonzero factors over disjoint supports multiply to a nonzero
+            # product (the term-pair map is injective), so only a zero factor
+            # can annihilate the pair.
+            return not (nonzero[i] and nonzero[j])
+        if truths is not None:
+            return truths[i] & truths[j] == 0
+        return (definitions[i] & definitions[j]).is_zero
+
     # --- product identities: s_i · s_j (· s_k) = 0 ------------------------
     zero_pairs: set[tuple[int, int]] = set()
     for i, j in combinations(range(n), 2):
-        if (definitions[i] & definitions[j]).is_zero:
+        if pair_product_is_zero(i, j):
             zero_pairs.add((i, j))
             identities.append(
                 Identity(var(i) & var(j), "product", f"{names[i]}*{names[j]} = 0")
@@ -71,7 +90,17 @@ def find_identities(
         for i, j, k in combinations(range(n), 3):
             if (i, j) in zero_pairs or (i, k) in zero_pairs or (j, k) in zero_pairs:
                 continue
-            if (definitions[i] & definitions[j] & definitions[k]).is_zero:
+            if (
+                nonzero[i] and nonzero[j] and nonzero[k]
+                and supports[i] & supports[j] == 0
+                and (supports[i] | supports[j]) & supports[k] == 0
+            ):
+                continue  # pairwise-disjoint nonzero factors: product nonzero
+            if truths is not None:
+                triple_is_zero = truths[i] & truths[j] & truths[k] == 0
+            else:
+                triple_is_zero = (definitions[i] & definitions[j] & definitions[k]).is_zero
+            if triple_is_zero:
                 identities.append(
                     Identity(
                         var(i) & var(j) & var(k),
@@ -86,8 +115,17 @@ def find_identities(
             identities.append(
                 Identity(var(i) ^ var(j), "definition", f"{names[i]} = {names[j]}")
             )
+    lengths = [expr.num_terms for expr in definitions]
     for i, j, k in combinations(range(n), 3):
-        if (definitions[i] ^ definitions[j] ^ definitions[k]).is_zero:
+        # A zero XOR needs every monomial to cancel, so the term counts must
+        # have an even sum — a cheap filter before any set work.
+        if (lengths[i] + lengths[j] + lengths[k]) & 1:
+            continue
+        if truths is not None:
+            xor_is_zero = truths[i] ^ truths[j] ^ truths[k] == 0
+        else:
+            xor_is_zero = (definitions[i] ^ definitions[j] ^ definitions[k]).is_zero
+        if xor_is_zero:
             identities.append(
                 Identity(
                     var(i) ^ var(j) ^ var(k),
@@ -97,18 +135,37 @@ def find_identities(
             )
 
     # --- definitional identities: s_i = s_j · s_k --------------------------
-    for i in range(n):
+    # The product s_j·s_k is hoisted out of the s_i scan (the seed recomputed
+    # it once per candidate i); matches are re-sorted to the seed's (i, j, k)
+    # emission order so downstream greedy reduction sees the same stream.
+    matches: List[tuple[int, int, int]] = []
+    if truths is not None:
+        index_of_truth: Dict[int, List[int]] = {}
+        for i, value in enumerate(truths):
+            index_of_truth.setdefault(value, []).append(i)
         for j, k in combinations(range(n), 2):
-            if i in (j, k):
-                continue
-            if definitions[i] == (definitions[j] & definitions[k]):
-                identities.append(
-                    Identity(
-                        var(i) ^ (var(j) & var(k)),
-                        "definition",
-                        f"{names[i]} = {names[j]}*{names[k]}",
-                    )
-                )
+            product = truths[j] & truths[k]
+            for i in index_of_truth.get(product, ()):
+                if i not in (j, k):
+                    matches.append((i, j, k))
+    else:
+        index_of_terms: Dict[frozenset, List[int]] = {}
+        for i, expr in enumerate(definitions):
+            index_of_terms.setdefault(expr.terms, []).append(i)
+        for j, k in combinations(range(n), 2):
+            product = definitions[j] & definitions[k]
+            for i in index_of_terms.get(product.terms, ()):
+                if i not in (j, k):
+                    matches.append((i, j, k))
+    matches.sort()
+    for i, j, k in matches:
+        identities.append(
+            Identity(
+                var(i) ^ (var(j) & var(k)),
+                "definition",
+                f"{names[i]} = {names[j]}*{names[k]}",
+            )
+        )
     return identities
 
 

@@ -86,29 +86,45 @@ def improve_basis_by_size_reduction(pair_list: PairList, max_rounds: int = 200) 
     pairs = list(pair_list.pairs)
     for _ in range(max_rounds):
         best_gain = 0
-        best_action: tuple[int, int, Pair, Pair] | None = None
+        best_action: tuple[int, int] | None = None
+        # The rewrite leaves left.second and right.first untouched, so the
+        # literal-count gain reduces to
+        #   lit(X1) + lit(Y2) - lit(X1 ⊕ X2) - lit(Y1 ⊕ Y2)
+        # and ``lit(A ⊕ B) = lit(A) + lit(B) - 2·lit(A ∩ B)`` on canonical
+        # term sets; the candidate scan therefore needs two set
+        # intersections per (i, j) and no Pair/Anf/null-generator objects.
+        firsts = [pair.first.terms for pair in pairs]
+        seconds = [pair.second.terms for pair in pairs]
+        first_lits = [pair.first.literal_count for pair in pairs]
+        second_lits = [pair.second.literal_count for pair in pairs]
         for i in range(len(pairs)):
             for j in range(len(pairs)):
                 if i == j:
                     continue
-                left, right = pairs[i], pairs[j]
-                before = left.literal_count + right.literal_count
-                new_left = Pair(
-                    left.first ^ right.first,
-                    left.second,
-                    ideal_product_generator(left.null_generator, right.null_generator),
+                if firsts[i] == firsts[j] or seconds[i] == seconds[j]:
+                    continue  # the rewrite would create a zero element
+                shared_first = sum(
+                    mask.bit_count() for mask in firsts[i] & firsts[j]
                 )
-                new_right = Pair(right.first, left.second ^ right.second, right.null_generator)
-                if new_left.first.is_zero or new_right.second.is_zero:
-                    continue
-                after = new_left.literal_count + new_right.literal_count
-                gain = before - after
+                shared_second = sum(
+                    mask.bit_count() for mask in seconds[i] & seconds[j]
+                )
+                gain = (
+                    2 * (shared_first + shared_second)
+                    - first_lits[j]
+                    - second_lits[i]
+                )
                 if gain > best_gain:
                     best_gain = gain
-                    best_action = (i, j, new_left, new_right)
+                    best_action = (i, j)
         if best_action is None:
             break
-        i, j, new_left, new_right = best_action
-        pairs[i] = new_left
-        pairs[j] = new_right
+        i, j = best_action
+        left, right = pairs[i], pairs[j]
+        pairs[i] = Pair(
+            left.first ^ right.first,
+            left.second,
+            ideal_product_generator(left.null_generator, right.null_generator),
+        )
+        pairs[j] = Pair(right.first, left.second ^ right.second, right.null_generator)
     return PairList(pairs, pair_list.remainder)

@@ -86,8 +86,8 @@ def initial_pairs(expr: Anf, group_mask: int, nullspaces: NullSpaceTable) -> Pai
     """
     buckets, remainder = expr.split_by_group(group_mask)
     pairs = []
-    for group_part in sorted(buckets, key=lambda mask: (bin(mask).count("1"), mask)):
-        first = Anf(expr.ctx, [group_part])
+    for group_part in sorted(buckets, key=lambda mask: (mask.bit_count(), mask)):
+        first = Anf._raw(expr.ctx, frozenset({group_part}))
         second = buckets[group_part]
         pairs.append(Pair(first, second, nullspaces.generator_for_monomial(group_part)))
     return PairList(pairs, remainder)

@@ -9,6 +9,7 @@ from the tagged pair list by extracting each output's tag component.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, List, Mapping, Sequence
 
 from ..anf.context import Context
@@ -21,8 +22,30 @@ def extract_tag_component(expr: Anf, tag_name: str, ctx: Context) -> Anf:
     if tag_name not in ctx:
         return Anf.zero(ctx)
     bit = 1 << ctx.index(tag_name)
-    terms = [term & ~bit for term in expr.terms if term & bit]
-    return Anf(ctx, terms)
+    # Distinct monomials sharing the tag bit stay distinct once it is
+    # stripped, so the term set is already canonical.
+    terms = frozenset(term & ~bit for term in expr.terms if term & bit)
+    return Anf._raw(ctx, terms)
+
+
+def _scatter_by_tags(expr: Anf, tags_mask: int) -> Dict[int, list]:
+    """Split an expression into per-tag components in a single traversal.
+
+    Returns ``{tag_bit: terms}`` where ``terms`` is the (canonical) monomial
+    list of :func:`extract_tag_component` for that tag — each monomial is
+    credited to every tag bit it contains, with that bit stripped.  Distinct
+    terms stay distinct after stripping a shared bit, so no cancellation is
+    possible and every bucket is non-empty.  One pass over the terms replaces
+    one full scan per (port, pair) combination.
+    """
+    buckets: Dict[int, list] = defaultdict(list)
+    for term in expr.terms:
+        tags = term & tags_mask
+        while tags:
+            bit = tags & -tags
+            buckets[bit].append(term & ~bit)
+            tags ^= bit
+    return buckets
 
 
 def rewrite_outputs(
@@ -34,24 +57,40 @@ def rewrite_outputs(
 
     The invariant is exact: substituting each block variable by its definition
     in the result reproduces the original expression (verified by
-    ``Decomposition.verify``).
+    ``Decomposition.verify``).  Each pair's second element is decomposed into
+    all of its per-port tag components in one traversal, and the
+    ``replacement · γ`` products go through the context's product memo.
     """
     if len(substitutions) != len(extraction.pair_list.pairs):
         raise ValueError("one substitution per pair is required")
-    outputs: Dict[str, Anf] = {}
-    remainder = extraction.pair_list.remainder
+    tag_bit_of_port: Dict[str, int] = {}
+    tags_mask = 0
     for port in extraction.ports:
         tag = extraction.tag_of_port[port]
-        if remainder is not None:
-            acc = extract_tag_component(remainder, tag, ctx)
-        else:
-            acc = Anf.zero(ctx)
-        for pair, replacement in zip(extraction.pair_list.pairs, substitutions):
-            gamma = extract_tag_component(pair.second, tag, ctx)
-            if gamma.is_zero:
+        if tag in ctx:
+            bit = 1 << ctx.index(tag)
+            tag_bit_of_port[port] = bit
+            tags_mask |= bit
+    outputs: Dict[str, Anf] = {
+        port: Anf.zero(ctx) for port in extraction.ports
+    }
+    remainder = extraction.pair_list.remainder
+    if remainder is not None:
+        remainder_buckets = _scatter_by_tags(remainder, tags_mask)
+        for port, bit in tag_bit_of_port.items():
+            terms = remainder_buckets.get(bit)
+            if terms:
+                outputs[port] = Anf._raw(ctx, frozenset(terms))
+    for pair, replacement in zip(extraction.pair_list.pairs, substitutions):
+        buckets = _scatter_by_tags(pair.second, tags_mask)
+        if not buckets:
+            continue
+        for port, bit in tag_bit_of_port.items():
+            terms = buckets.get(bit)
+            if not terms:
                 continue
-            acc = acc ^ (replacement & gamma)
-        outputs[port] = acc
+            gamma = Anf._raw(ctx, frozenset(terms))
+            outputs[port] = outputs[port] ^ replacement.cached_and(gamma)
     return outputs
 
 

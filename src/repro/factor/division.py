@@ -47,7 +47,12 @@ def divide_by_cube(expr: Anf, cube_mask: int) -> tuple[Anf, Anf]:
             quotient_terms.append(term & ~cube_mask)
         else:
             remainder_terms.append(term)
-    return Anf(expr.ctx, quotient_terms), Anf(expr.ctx, remainder_terms)
+    # Distinct monomials stay distinct when a shared cube is stripped, so
+    # both term lists are already canonical.
+    return (
+        Anf._raw(expr.ctx, frozenset(quotient_terms)),
+        Anf._raw(expr.ctx, frozenset(remainder_terms)),
+    )
 
 
 def make_cube_free(expr: Anf) -> tuple[int, Anf]:
@@ -91,7 +96,7 @@ def weak_divide(expr: Anf, divisor: Anf) -> tuple[Anf, Anf]:
             quotient_set &= candidates
         if not quotient_set:
             return Anf.zero(ctx), expr
-    quotient = Anf(ctx, quotient_set or ())
+    quotient = Anf._raw(ctx, frozenset(quotient_set or ()))
     remainder = expr ^ (quotient & divisor)
     return quotient, remainder
 
@@ -101,12 +106,11 @@ def literal_frequencies(expr: Anf) -> dict[int, int]:
     counts: dict[int, int] = {}
     for term in expr.terms:
         remaining = term
-        index = 0
         while remaining:
-            if remaining & 1:
-                counts[index] = counts.get(index, 0) + 1
-            remaining >>= 1
-            index += 1
+            low = remaining & -remaining
+            index = low.bit_length() - 1
+            counts[index] = counts.get(index, 0) + 1
+            remaining ^= low
     return counts
 
 
@@ -127,9 +131,7 @@ def most_frequent_literal(expr: Anf) -> int | None:
 
 def cube_literals(mask: int) -> Iterable[int]:
     """Variable indices present in a cube mask."""
-    index = 0
     while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -25,15 +25,23 @@ class MonomialIndexer:
 
     def vector_of(self, expr: Anf) -> int:
         """Bitmask vector of ``expr`` over the (growing) monomial basis."""
-        vector = 0
         index_of = self._index_of
+        indices = []
         for monomial in expr.terms:
             index = index_of.get(monomial)
             if index is None:
                 index = len(index_of)
                 index_of[monomial] = index
-            vector |= 1 << index
-        return vector
+            indices.append(index)
+        if not indices:
+            return 0
+        # Assemble the vector through a bytearray: OR-ing ``1 << index`` into
+        # a growing bigint is quadratic in the monomial count, which bites on
+        # the wide combined expressions of the basis-minimisation step.
+        packed = bytearray((max(indices) >> 3) + 1)
+        for index in indices:
+            packed[index >> 3] |= 1 << (index & 7)
+        return int.from_bytes(packed, "little")
 
     @property
     def num_monomials(self) -> int:

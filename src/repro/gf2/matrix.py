@@ -20,9 +20,10 @@ class GF2Matrix:
         rows = list(rows)
         if num_cols < 0:
             raise ValueError("number of columns must be non-negative")
-        limit = 1 << num_cols
+        # bit_length keeps validation O(1) per row; building ``1 << num_cols``
+        # allocated a multi-thousand-bit integer for wide matrices.
         for row in rows:
-            if row < 0 or row >= limit:
+            if row < 0 or row.bit_length() > num_cols:
                 raise ValueError("row bitmask does not fit in the declared column count")
         self._rows = rows
         self._num_cols = num_cols
@@ -139,7 +140,7 @@ class GF2Matrix:
         """Matrix-vector product over GF(2); ``vector`` selects columns."""
         result = 0
         for i, row in enumerate(self._rows):
-            if bin(row & vector).count("1") & 1:
+            if (row & vector).bit_count() & 1:
                 result |= 1 << i
         return result
 

@@ -27,7 +27,7 @@ class Implicant:
 
     @property
     def num_literals(self) -> int:
-        return bin(self.care).count("1")
+        return self.care.bit_count()
 
 
 def quine_mccluskey(
@@ -55,7 +55,7 @@ def quine_mccluskey(
         next_level: set[Implicant] = set()
         grouped: dict[tuple[int, int], list[Implicant]] = {}
         for implicant in current:
-            grouped.setdefault((implicant.care, bin(implicant.value & implicant.care).count("1")), []).append(implicant)
+            grouped.setdefault((implicant.care, (implicant.value & implicant.care).bit_count()), []).append(implicant)
         for (care, ones), bucket in grouped.items():
             partner_key = (care, ones + 1)
             for other in grouped.get(partner_key, []):
