@@ -3,19 +3,49 @@
 The paper's algorithm has four optimisation ingredients on top of the plain
 pair-merging basis extraction: null-space (Boolean) merging, GF(2) linear
 dependence minimisation, local size reduction, and identity-based basis
-reduction.  These benchmarks measure what each ingredient buys on the
-circuits where the paper says it matters.
+reduction.  With the pass-pipeline engine each ablation is literally a
+pipeline with the corresponding pass left out — assembled here from the pass
+objects, not plumbed through option flags — and these benchmarks measure
+what each ingredient buys on the circuits where the paper says it matters.
 """
 
 import pytest
 
 from repro.benchcircuits import majority_spec
-from repro.core import DecompositionOptions, decomposition_to_netlist, progressive_decomposition
+from repro.core import decomposition_to_netlist
+from repro.engine import (
+    BasisExtractionPass,
+    GroupingPass,
+    IdentityAnalysisPass,
+    LinearDependencePass,
+    NullspaceMergePass,
+    Pipeline,
+    RewritePass,
+    SizeReductionPass,
+)
 from repro.synth import synthesize_netlist
 
 
-def _pd_area_delay(spec, options, library):
-    decomposition = progressive_decomposition(spec.outputs, options, input_words=spec.input_words)
+def full_pipeline(k: int = 4) -> Pipeline:
+    """The paper's full configuration as an explicit pass list."""
+    return Pipeline([
+        GroupingPass(k),
+        BasisExtractionPass(),
+        NullspaceMergePass(),
+        LinearDependencePass(),
+        SizeReductionPass(),
+        IdentityAnalysisPass(),
+        RewritePass(),
+    ])
+
+
+def pipeline_without(excluded: type, k: int = 4) -> Pipeline:
+    """The full pipeline minus one pass class — one ablation."""
+    return Pipeline([p for p in full_pipeline(k).passes if not isinstance(p, excluded)])
+
+
+def _pd_area_delay(spec, pipeline, library):
+    decomposition = pipeline.run(spec.outputs, input_words=spec.input_words)
     assert decomposition.verify()
     netlist = decomposition_to_netlist(decomposition, library=library, objective="balanced")
     result = synthesize_netlist(netlist, library)
@@ -23,12 +53,10 @@ def _pd_area_delay(spec, options, library):
 
 
 def test_ablation_identities_enable_counter_discovery(benchmark, library):
-    """Without identity reduction the majority basis keeps the redundant e3 block."""
+    """Without the identity pass the majority basis keeps the redundant e3 block."""
     spec = majority_spec(15)
-    decomposition, _ = benchmark(
-        _pd_area_delay, spec, DecompositionOptions(use_identities=True), library
-    )
-    baseline, _ = _pd_area_delay(spec, DecompositionOptions(use_identities=False), library)
+    decomposition, _ = benchmark(_pd_area_delay, spec, full_pipeline(), library)
+    baseline, _ = _pd_area_delay(spec, pipeline_without(IdentityAnalysisPass), library)
     with_level1 = len(decomposition.blocks_at_level(1))
     without_level1 = len(baseline.blocks_at_level(1))
     # With identities the first 4-bit group needs only the 4:3 counter outputs
@@ -48,10 +76,10 @@ def test_ablation_size_reduction_stays_correct_and_bounded(benchmark, library):
     not blow the hierarchy up (the paper applies it unconditionally)."""
     spec = majority_spec(9)
     decomposition, with_result = benchmark(
-        _pd_area_delay, spec, DecompositionOptions(use_size_reduction=True), library
+        _pd_area_delay, spec, full_pipeline(), library
     )
     baseline, without_result = _pd_area_delay(
-        spec, DecompositionOptions(use_size_reduction=False), library
+        spec, pipeline_without(SizeReductionPass), library
     )
     assert decomposition.verify() and baseline.verify()
     assert decomposition.total_block_literals() <= baseline.total_block_literals() * 1.5
@@ -61,6 +89,6 @@ def test_ablation_size_reduction_stays_correct_and_bounded(benchmark, library):
 def test_ablation_group_size(benchmark, library):
     """k = 4 (the paper's choice) versus k = 2: bigger groups give fewer levels."""
     spec = majority_spec(9)
-    decomposition_k4, _ = benchmark(_pd_area_delay, spec, DecompositionOptions(k=4), library)
-    decomposition_k2, _ = _pd_area_delay(spec, DecompositionOptions(k=2), library)
+    decomposition_k4, _ = benchmark(_pd_area_delay, spec, full_pipeline(k=4), library)
+    decomposition_k2, _ = _pd_area_delay(spec, full_pipeline(k=2), library)
     assert decomposition_k4.num_levels <= decomposition_k2.num_levels

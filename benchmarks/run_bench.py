@@ -48,8 +48,10 @@ from repro.benchcircuits import (  # noqa: E402
     majority_spec,
     three_input_adder_spec,
 )
+from repro.core.structure import decomposition_to_netlist  # noqa: E402
+from repro.engine import BatchJob, BatchOrchestrator  # noqa: E402
 from repro.eval.flows import run_progressive_flow  # noqa: E402
-from repro.synth import default_library  # noqa: E402
+from repro.synth import default_library, synthesize_netlist  # noqa: E402
 
 SCHEMA = "repro-bench-v1"
 
@@ -79,9 +81,15 @@ def bench_circuit(name: str, width: int, repeats: int, library) -> Dict[str, obj
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     decomposition = result.decomposition
+    entry: Dict[str, object] = {"width": width, "seconds": round(best, 4)}
+    entry.update(_decomposition_metrics(decomposition))
+    entry["area"] = round(result.area, 1)
+    entry["delay"] = round(result.delay, 3)
+    return entry
+
+
+def _decomposition_metrics(decomposition) -> Dict[str, object]:
     return {
-        "width": width,
-        "seconds": round(best, 4),
         "verify": decomposition.verify(),
         "blocks": len(decomposition.blocks),
         "levels": decomposition.num_levels,
@@ -89,9 +97,45 @@ def bench_circuit(name: str, width: int, repeats: int, library) -> Dict[str, obj
         "output_literals": sum(
             expr.literal_count for expr in decomposition.outputs.values()
         ),
-        "area": round(result.area, 1),
-        "delay": round(result.delay, 3),
     }
+
+
+def bench_orchestrated(
+    selected, widths: Dict[str, int], jobs: int | None, cache_dir: str | None, library
+) -> Dict[str, object]:
+    """Run the sweep's decompositions through the batch orchestrator.
+
+    Per-circuit ``seconds`` is the worker-side engine time (near zero on a
+    warm cache); synthesis runs in the parent so area/delay stay in the
+    record.  Orchestrated timings are NOT comparable to the sequential
+    baselines — use this mode for result validation and cached sweeps, and
+    the default sequential mode for performance tracking.
+    """
+    orchestrator = BatchOrchestrator(cache_dir, jobs)
+    batch = [
+        BatchJob(name, CIRCUITS[name][0], (widths[name],)) for name in selected
+    ]
+    batch_results = orchestrator.run(batch)
+    results: Dict[str, object] = {}
+    for name in selected:
+        outcome = batch_results[name]
+        decomposition = outcome.decomposition
+        # Match run_progressive_flow's structuring objective so the recorded
+        # area/delay agree with the sequential mode on identical decompositions.
+        netlist = decomposition_to_netlist(
+            decomposition, library=library, objective="balanced"
+        )
+        synthesis = synthesize_netlist(netlist, library)
+        entry: Dict[str, object] = {
+            "width": widths[name],
+            "seconds": round(outcome.seconds, 4),
+            "cache_hit": outcome.cache_hit,
+        }
+        entry.update(_decomposition_metrics(decomposition))
+        entry["area"] = round(synthesis.area, 1)
+        entry["delay"] = round(synthesis.delay, 3)
+        results[name] = entry
+    return results
 
 
 RESULT_KEYS = ("width", "blocks", "levels", "block_literals", "output_literals")
@@ -155,32 +199,55 @@ def main(argv=None) -> int:
                         help="use the paper's Table 1 widths instead of the quick ones")
     parser.add_argument("--rows", nargs="*", choices=sorted(CIRCUITS),
                         help="benchmark only these circuits")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per circuit (best is recorded)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per circuit (best is recorded; "
+                             "default 3; sequential mode only)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run the decompositions through the batch orchestrator "
+                             "with N worker processes (timings then reflect the "
+                             "orchestrated engine, not the sequential flow)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="on-disk decomposition cache directory "
+                             "(enables the orchestrated mode)")
     args = parser.parse_args(argv)
 
     library = default_library()
     selected = args.rows if args.rows else list(CIRCUITS)
     mode = "full" if args.full else "quick"
-    results: Dict[str, object] = {}
+    orchestrated = args.jobs is not None or args.cache is not None
+    widths = {
+        name: (CIRCUITS[name][2] if args.full else CIRCUITS[name][1])
+        for name in selected
+    }
+    if orchestrated:
+        if args.repeats is not None:
+            print("note: --repeats is ignored in the orchestrated mode "
+                  "(each decomposition runs once per worker)")
+        repeats = 1
+        results = bench_orchestrated(selected, widths, args.jobs, args.cache, library)
+        mode += "-orchestrated"
+    else:
+        repeats = args.repeats if args.repeats is not None else 3
+        results = {
+            name: bench_circuit(name, widths[name], repeats, library)
+            for name in selected
+        }
     total = 0.0
     for name in selected:
-        _, quick_width, full_width = CIRCUITS[name]
-        width = full_width if args.full else quick_width
-        entry = bench_circuit(name, width, args.repeats, library)
-        results[name] = entry
+        entry = results[name]
         total += entry["seconds"]
+        cached = " (cached)" if entry.get("cache_hit") else ""
         print(
             f"{name:20s} width={entry['width']:<3d} {entry['seconds']:>9.3f}s  "
             f"blocks={entry['blocks']:<3d} literals={entry['block_literals']:<4d} "
-            f"verify={entry['verify']}",
+            f"verify={entry['verify']}{cached}",
             flush=True,
         )
 
     record = {
         "schema": SCHEMA,
         "mode": mode,
-        "repeats": args.repeats,
+        "repeats": repeats,
         "python": platform.python_version(),
         "circuits": results,
         "total_seconds": round(total, 4),
@@ -196,6 +263,19 @@ def main(argv=None) -> int:
     if args.compare:
         with open(args.compare) as handle:
             baseline = json.load(handle)
+        base_mode = baseline.get("mode", "quick")
+        if base_mode != mode:
+            reason = (
+                "orchestrated timings (fork + cache + worker) are not comparable "
+                "to sequential ones"
+                if ("orchestrated" in mode) != ("orchestrated" in base_mode)
+                else "the two runs use different circuit widths"
+            )
+            print(
+                f"\ncannot compare a {mode!r} run against a {base_mode!r} baseline: "
+                f"{reason} — record a baseline in the same mode."
+            )
+            return 2
         print(f"\ncomparing against {args.compare} (tolerance {args.tolerance:.0%}):")
         return compare(record, baseline, args.tolerance)
     return 0

@@ -8,7 +8,10 @@ Public surface:
 * :mod:`repro.synth` — cell library, structuring, mapping, timing (the
   Design Compiler substitute);
 * :mod:`repro.factor` — classical algebraic factorisation baseline;
-* :mod:`repro.core` — the Progressive Decomposition algorithm itself;
+* :mod:`repro.core` — the Progressive Decomposition result model and entry
+  point;
+* :mod:`repro.engine` — the pass-pipeline engine behind it, plus the batch
+  orchestrator and on-disk result cache;
 * :mod:`repro.benchcircuits` — the paper's benchmark circuits;
 * :mod:`repro.online` — hierarchies from online algorithms (Theorem 1);
 * :mod:`repro.eval` — Table 1 and figure reproduction harness.
@@ -16,15 +19,19 @@ Public surface:
 
 from .anf import Anf, Context, Word
 from .core import Decomposition, DecompositionOptions, progressive_decomposition
+from .engine import BatchOrchestrator, DecompositionCache, Pipeline
 from .synth import default_library, synthesize_expressions, synthesize_netlist
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Anf",
+    "BatchOrchestrator",
     "Context",
     "Decomposition",
+    "DecompositionCache",
     "DecompositionOptions",
+    "Pipeline",
     "Word",
     "__version__",
     "default_library",

@@ -6,6 +6,7 @@ symbolic bit-vectors (:class:`Word`) and a small infix parser.
 """
 
 from .bitset import BitsetKernel, kernel_for_exprs, kernel_for_support, truth_table
+from .canonical import canonical_spec_digest, canonical_spec_payload
 from .builders import (
     and_all,
     elementary_symmetric,
@@ -48,6 +49,8 @@ __all__ = [
     "anf_to_sop",
     "anf_xor",
     "build_from_function",
+    "canonical_spec_digest",
+    "canonical_spec_payload",
     "carry_save_reduce",
     "elementary_symmetric",
     "equivalent",

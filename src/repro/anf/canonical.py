@@ -1,0 +1,144 @@
+"""Canonical, context-independent hashing of multi-output specifications.
+
+The Reed-Muller form is canonical (two expressions denote the same function
+iff their monomial sets are equal), so a specification has a well-defined
+digest.  The canonical form relabels the support variables *densely in
+declaration order*: bit *i* of a canonical monomial is the *i*-th support
+variable as declared.  Two specs built in different contexts or processes —
+e.g. by re-running the same deterministic builder — hash equal exactly when
+they denote the same functions over the same named inputs declared in the
+same order; variables outside the support (tags, other problems sharing the
+context) never influence the digest.
+
+Declaration order is deliberately part of the key: ``findGroup`` iterates
+candidates and breaks ties in declaration order (and the default input word
+is the declaration-ordered support), so the same functions declared in a
+different order can legitimately decompose differently.  Folding order into
+the digest keeps the result-cache contract exact — a warm hit is always the
+result the cold run would have produced.
+
+Flat Reed-Muller specs can carry hundreds of thousands of monomials (the
+15-bit comparator is megabytes of terms), so the digest avoids per-bit
+string work: masks are remapped through precomputed per-chunk permutation
+tables (two dict lookups per term for specs up to 32 variables) and hashed
+incrementally as fixed-width little-endian bytes.
+
+This digest keys the on-disk result cache of the batch orchestrator
+(:mod:`repro.engine.batch`), together with the pipeline's ``config_key``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Sequence
+
+from .expression import Anf
+
+_CHUNK_BITS = 16
+
+
+def _remap_tables(width: int, perm: Dict[int, int]) -> List[Dict[int, int]]:
+    """Per-chunk lookup tables applying the bit permutation ``perm``.
+
+    ``perm`` maps source bit positions to canonical bit positions (only bits
+    that can actually occur need entries).  Table ``c`` maps every value of
+    the ``c``-th :data:`_CHUNK_BITS`-bit chunk of a source mask to its
+    remapped image, so remapping a mask costs one lookup per chunk instead
+    of one iteration per set bit.
+    """
+    tables: List[Dict[int, int]] = []
+    for base in range(0, max(width, 1), _CHUNK_BITS):
+        chunk_bits = [
+            (1 << offset, 1 << perm[base + offset])
+            for offset in range(min(_CHUNK_BITS, width - base))
+            if base + offset in perm
+        ]
+        table = {0: 0}
+        for source_bit, target_bit in chunk_bits:
+            # Extend the table by this bit: every existing entry, with and
+            # without the new bit set.
+            for value, image in list(table.items()):
+                table[value | source_bit] = image | target_bit
+        tables.append(table)
+    return tables
+
+
+def _canonical_parts(
+    outputs: Mapping[str, Anf],
+) -> tuple[List[str], Dict[str, List[int]]]:
+    """Declaration-ordered support names and densely relabelled term masks."""
+    if not outputs:
+        return [], {}
+    first = next(iter(outputs.values()))
+    ctx = first.ctx
+    support_mask = 0
+    for expr in outputs.values():
+        ctx.require_same(expr.ctx)
+        support_mask |= expr.support_mask
+    names = list(ctx.names_of(support_mask))
+    perm = {ctx.index(name): position for position, name in enumerate(names)}
+    tables = _remap_tables(len(ctx), perm)
+    chunk_mask = (1 << _CHUNK_BITS) - 1
+    rendered: Dict[str, List[int]] = {}
+    for port in sorted(outputs):
+        terms = outputs[port].terms
+        # Flat Reed-Muller specs run to ~10^6 monomials, so the one- and
+        # two-chunk cases (up to 32 variables) get loop-free remaps.
+        if len(tables) == 1:
+            table = tables[0]
+            remapped = [table[mask] for mask in terms]
+        elif len(tables) == 2:
+            low, high = tables
+            remapped = [
+                low[mask & chunk_mask] | high[mask >> _CHUNK_BITS] for mask in terms
+            ]
+        else:
+            remapped = []
+            for mask in terms:
+                canonical = 0
+                chunk = 0
+                while mask:
+                    canonical |= tables[chunk][mask & chunk_mask]
+                    mask >>= _CHUNK_BITS
+                    chunk += 1
+                remapped.append(canonical)
+        remapped.sort()
+        rendered[port] = remapped
+    return names, rendered
+
+
+def canonical_spec_payload(
+    outputs: Mapping[str, Anf],
+    input_words: Sequence[Sequence[str]] | None = None,
+) -> dict:
+    """The canonical form of a specification as a JSON-serialisable dict.
+
+    ``support`` lists the support variables in declaration order; monomial
+    bit *i* refers to ``support[i]``.
+    """
+    names, rendered = _canonical_parts(outputs)
+    payload: dict = {"support": names, "outputs": rendered}
+    if input_words is not None:
+        payload["input_words"] = [list(word) for word in input_words]
+    return payload
+
+
+def canonical_spec_digest(
+    outputs: Mapping[str, Anf],
+    input_words: Sequence[Sequence[str]] | None = None,
+) -> str:
+    """SHA-256 hex digest of the canonical form of a specification."""
+    names, rendered = _canonical_parts(outputs)
+    digest = hashlib.sha256()
+    header = {"support": names, "ports": sorted(rendered)}
+    if input_words is not None:
+        header["input_words"] = [list(word) for word in input_words]
+    digest.update(json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8"))
+    mask_bytes = (len(names) + 7) // 8 or 1
+    for port in sorted(rendered):
+        digest.update(port.encode("utf-8") + b"\0")
+        digest.update(
+            b"".join(mask.to_bytes(mask_bytes, "little") for mask in rendered[port])
+        )
+    return digest.hexdigest()

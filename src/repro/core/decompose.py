@@ -1,33 +1,28 @@
-"""The Progressive Decomposition main loop (paper Fig. 5).
+"""Progressive Decomposition result types and the compatibility entry point.
 
-``progressive_decomposition`` takes a multi-output Boolean specification in
-Reed-Muller form and iteratively:
+The Fig. 5 loop itself lives in :mod:`repro.engine`: each stage (group →
+basis → minimise → identities → rewrite) is a composable
+:class:`~repro.engine.passes.Pass` run by a
+:class:`~repro.engine.pipeline.Pipeline` over an explicit
+:class:`~repro.engine.state.EngineState`.  ``progressive_decomposition``
+below is a thin wrapper that assembles the pipeline matching its
+:class:`DecompositionOptions` — its results are bit-identical to the
+original monolithic loop (asserted by the parity property tests and the
+benchmark ``--compare`` harness).
 
-1. chooses a group of ``k`` variables (``findGroup``),
-2. extracts the group's leader expressions (``findBasis``),
-3. minimises the basis via GF(2) linear dependence and local size reduction,
-4. finds identities among the basis elements, removes elements the identities
-   define, and records product identities for the next iteration's
-   null-spaces,
-5. rewrites the outputs (and carried identities) over the new block variables,
-
-until every output is reduced to (at most) a literal.  The result is a
-hierarchy of building blocks — each a small expression over earlier-level
+This module keeps the result model: a hierarchy of building
+:class:`Block` objects — each a small expression over earlier-level
 variables — plus a complete per-iteration trace (used to reproduce Fig. 6).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from ..anf.context import Context
 from ..anf.expression import Anf
-from .basis import BasisExtraction, extract_basis
-from .grouping import find_group, support_of_outputs
-from .identities import Identity, IdentityAnalysis, find_identities, reduce_basis_using_identities
-from .optimize import improve_basis_by_size_reduction, minimize_basis_by_linear_dependence
-from .rewrite import rewrite_identities, rewrite_outputs
+from .identities import Identity
 
 
 @dataclass
@@ -98,6 +93,11 @@ class Decomposition:
     iterations: List[IterationRecord]
     options: DecompositionOptions
     primary_inputs: List[str]
+    # Lazily built name -> block index backing block_by_name/_is_block; the
+    # linear scans they replaced were quadratic inside flatten().
+    _blocks_by_name: Dict[str, Block] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -107,11 +107,21 @@ class Decomposition:
     def blocks_at_level(self, level: int) -> List[Block]:
         return [block for block in self.blocks if block.level == level]
 
+    def _block_map(self) -> Dict[str, Block]:
+        # Staleness is detected by length only: the block list is built once
+        # by the engine and is append-only thereafter.  In-place replacement
+        # or renaming of existing entries is not a supported mutation.
+        index = self._blocks_by_name
+        if len(index) != len(self.blocks):
+            index.clear()
+            index.update((block.name, block) for block in self.blocks)
+        return index
+
     def block_by_name(self, name: str) -> Block:
-        for block in self.blocks:
-            if block.name == name:
-                return block
-        raise KeyError(f"no block named {name!r}")
+        block = self._block_map().get(name)
+        if block is None:
+            raise KeyError(f"no block named {name!r}")
+        return block
 
     def definitions(self) -> Dict[str, Anf]:
         return {block.name: block.definition for block in self.blocks}
@@ -147,7 +157,7 @@ class Decomposition:
         return flattened
 
     def _is_block(self, name: str) -> bool:
-        return any(block.name == name for block in self.blocks)
+        return name in self._block_map()
 
     def verify(self) -> bool:
         """True when the hierarchy reproduces the original specification exactly."""
@@ -178,16 +188,6 @@ class Decomposition:
         return "\n".join(record.describe() for record in self.iterations)
 
 
-def _total_literals(outputs: Mapping[str, Anf]) -> int:
-    return sum(expr.literal_count for expr in outputs.values())
-
-
-def _is_terminal(expr: Anf) -> bool:
-    """Outputs are terminal once they depend on at most one variable."""
-    mask = expr.support_mask
-    return mask == 0 or (mask & (mask - 1)) == 0
-
-
 def progressive_decomposition(
     outputs: Mapping[str, Anf],
     options: DecompositionOptions | None = None,
@@ -199,146 +199,14 @@ def progressive_decomposition(
     ``findGroup`` can pick the least-significant available bits of each
     integer operand, as the paper prescribes; by default all primary inputs
     are treated as a single word in declaration order.
+
+    This is a compatibility wrapper over the pass-pipeline engine: it
+    assembles the :class:`~repro.engine.pipeline.Pipeline` matching
+    ``options`` and runs it.  Results are bit-identical to the original
+    monolithic loop.
     """
-    if not outputs:
-        raise ValueError("progressive_decomposition needs at least one output")
+    from ..engine.pipeline import Pipeline
+
     options = options or DecompositionOptions()
-    first_expr = next(iter(outputs.values()))
-    ctx = first_expr.ctx
-    for expr in outputs.values():
-        ctx.require_same(expr.ctx)
-
-    original = dict(outputs)
-    current: Dict[str, Anf] = dict(outputs)
-    primary_inputs = support_of_outputs(current, ctx)
-    if input_words is None:
-        input_words = [list(primary_inputs)]
-
-    blocks: List[Block] = []
-    iterations: List[IterationRecord] = []
-    identities: List[Anf] = []
-    level = 0
-    forced_full_group = False
-
-    while not all(_is_terminal(expr) for expr in current.values()):
-        if level >= options.max_iterations:
-            raise RuntimeError(
-                f"progressive decomposition did not converge in {options.max_iterations} iterations"
-            )
-        level += 1
-        active = {port: expr for port, expr in current.items() if not _is_terminal(expr)}
-        size_before = _total_literals(current)
-
-        if forced_full_group:
-            group = support_of_outputs(active, ctx)
-        else:
-            group = find_group(active, options.k, ctx, primary_inputs, input_words, identities)
-        if not group:
-            group = support_of_outputs(active, ctx)
-
-        extraction = extract_basis(
-            active, group, identities if options.use_identities else (), ctx,
-            use_nullspaces=options.use_nullspaces,
-        )
-        pair_list = extraction.pair_list
-        if options.use_linear_dependence:
-            pair_list = minimize_basis_by_linear_dependence(pair_list)
-        if options.use_size_reduction:
-            pair_list = improve_basis_by_size_reduction(pair_list)
-        extraction.pair_list = pair_list
-
-        basis_definitions = pair_list.firsts()
-
-        # Propose names: existing literals keep their own name, real blocks get
-        # fresh names at this level.
-        proposed_names: List[str] = []
-        fresh_index = 0
-        for definition in basis_definitions:
-            if definition.is_literal:
-                proposed_names.append(definition.literal_name)
-            else:
-                proposed_names.append(f"{options.block_prefix}{level}_{fresh_index}")
-                fresh_index += 1
-
-        # Identities among the prospective blocks.
-        identities_found: List[Identity] = []
-        analysis: Optional[IdentityAnalysis] = None
-        if options.use_identities and basis_definitions:
-            identities_found = find_identities(
-                proposed_names, basis_definitions, ctx, options.identity_products
-            )
-            analysis = reduce_basis_using_identities(
-                proposed_names, basis_definitions, identities_found, ctx
-            )
-        removed: Dict[str, Anf] = dict(analysis.replacements) if analysis else {}
-
-        # Build the substitution for every pair and create the real blocks.
-        substitutions: List[Anf] = []
-        block_names: List[str] = []
-        new_blocks: List[Block] = []
-        for name, definition in zip(proposed_names, basis_definitions):
-            if definition.is_literal:
-                substitutions.append(definition)
-                block_names.append(name)
-                continue
-            if name in removed:
-                substitutions.append(removed[name])
-                block_names.append(name)
-                continue
-            ctx.add_var(name)
-            new_blocks.append(Block(name, level, definition, list(group)))
-            substitutions.append(Anf.var(ctx, name))
-            block_names.append(name)
-
-        rewritten = rewrite_outputs(extraction, substitutions, ctx)
-        next_outputs = dict(current)
-        next_outputs.update(rewritten)
-
-        # Carry identities forward: drop those mentioning the consumed group,
-        # add the product identities over the surviving new blocks.
-        identities = rewrite_identities(identities, group, ctx)
-        if analysis is not None:
-            surviving = {block.name for block in new_blocks} | set(primary_inputs)
-            for identity in analysis.identities:
-                if identity.kind != "product":
-                    continue
-                if set(identity.expr.support) <= surviving:
-                    identities.append(identity.expr)
-
-        size_after = _total_literals(next_outputs)
-        iterations.append(
-            IterationRecord(
-                index=level,
-                group=list(group),
-                basis_definitions=basis_definitions,
-                block_names=block_names,
-                substitutions=substitutions,
-                identities_found=identities_found,
-                removed_blocks=removed,
-                size_before=size_before,
-                size_after=size_after,
-            )
-        )
-
-        made_progress = bool(new_blocks) or any(
-            next_outputs[port] != current[port] for port in current
-        )
-        blocks.extend(new_blocks)
-        current = next_outputs
-
-        if not made_progress:
-            if forced_full_group:
-                raise RuntimeError("progressive decomposition stalled even with a full group")
-            forced_full_group = True
-        else:
-            forced_full_group = False
-
-    return Decomposition(
-        ctx=ctx,
-        original=original,
-        outputs=current,
-        blocks=blocks,
-        iterations=iterations,
-        options=options,
-        primary_inputs=primary_inputs,
-    )
+    pipeline = Pipeline.from_options(options)
+    return pipeline.run(outputs, input_words=input_words, options=options)

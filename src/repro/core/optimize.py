@@ -8,11 +8,47 @@ ring), which the test suite checks property-style.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Sequence
 
-from ..gf2.linear import find_expression_dependency
+from ..anf.expression import Anf
+from ..gf2.linear import MonomialIndexer
+from ..gf2.vectorspace import find_linear_dependency
 from .nullspace import ideal_product_generator
 from .pairs import Pair, PairList
+
+
+class _DependencyFinder:
+    """``find_expression_dependency`` with vectorisation cached across calls.
+
+    The minimisation loop re-examines mostly unchanged expression lists every
+    round; a shared :class:`MonomialIndexer` plus a per-expression vector
+    memo makes each repeat O(changed expressions) instead of re-vectorising
+    the whole list.  Coordinate assignment differs from a fresh indexer, but
+    linear dependencies are basis-independent and the combination over an
+    independent prefix is unique, so the result is bit-identical.
+    """
+
+    __slots__ = ("_indexer", "_vectors")
+
+    def __init__(self) -> None:
+        self._indexer = MonomialIndexer()
+        self._vectors: Dict[Anf, int] = {}
+
+    def find(self, exprs: Sequence[Anf]) -> tuple[int, list[int]] | None:
+        vectors = []
+        memo = self._vectors
+        for expr in exprs:
+            vector = memo.get(expr)
+            if vector is None:
+                vector = self._indexer.vector_of(expr)
+                memo[expr] = vector
+            vectors.append(vector)
+        dependency = find_linear_dependency(vectors)
+        if dependency is None:
+            return None
+        index, combination = dependency
+        others = [j for j in range(index) if combination >> j & 1]
+        return index, others
 
 
 def minimize_basis_by_linear_dependence(pair_list: PairList, max_rounds: int = 64) -> PairList:
@@ -23,11 +59,13 @@ def minimize_basis_by_linear_dependence(pair_list: PairList, max_rounds: int = 6
     the second elements (paper section 5.3).
     """
     pairs = list(pair_list.pairs)
+    first_finder = _DependencyFinder()
+    second_finder = _DependencyFinder()
     for _ in range(max_rounds):
         changed = False
 
         # Dependence among the first elements.
-        dependency = find_expression_dependency([pair.first for pair in pairs])
+        dependency = first_finder.find([pair.first for pair in pairs])
         if dependency is not None:
             index, others = dependency
             victim = pairs[index]
@@ -46,8 +84,10 @@ def minimize_basis_by_linear_dependence(pair_list: PairList, max_rounds: int = 6
                 changed = True
 
         if not changed:
-            # Dependence among the second elements.
-            dependency = find_expression_dependency([pair.second for pair in pairs])
+            # Dependence among the second elements (the ROADMAP lever: the
+            # seconds barely change between rounds, so their cached vectors
+            # almost always survive).
+            dependency = second_finder.find([pair.second for pair in pairs])
             if dependency is not None:
                 index, others = dependency
                 victim = pairs[index]

@@ -1,0 +1,60 @@
+"""Pass-pipeline decomposition engine and batch orchestrator.
+
+The engine splits the Fig. 5 loop into composable passes over an explicit
+:class:`EngineState` (see :mod:`repro.engine.passes`), assembled by a
+:class:`Pipeline`.  ``Pipeline.from_options`` reproduces
+:func:`repro.core.progressive_decomposition` bit-for-bit; hand-assembled
+pipelines express ablations and experiments as pass lists.
+
+On top of the pipeline, :mod:`repro.engine.batch` runs many specifications
+concurrently with an on-disk result cache keyed by the canonical spec digest
+and the pipeline configuration.
+"""
+
+from .batch import (
+    BatchJob,
+    BatchOrchestrator,
+    BatchResult,
+    decompose_cached,
+    map_parallel,
+)
+from .cache import (
+    DecompositionCache,
+    cache_key,
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+from .passes import (
+    BasisExtractionPass,
+    GroupingPass,
+    IdentityAnalysisPass,
+    LinearDependencePass,
+    NullspaceMergePass,
+    Pass,
+    RewritePass,
+    SizeReductionPass,
+)
+from .pipeline import Pipeline
+from .state import EngineState
+
+__all__ = [
+    "BasisExtractionPass",
+    "BatchJob",
+    "BatchOrchestrator",
+    "BatchResult",
+    "DecompositionCache",
+    "EngineState",
+    "GroupingPass",
+    "IdentityAnalysisPass",
+    "LinearDependencePass",
+    "NullspaceMergePass",
+    "Pass",
+    "Pipeline",
+    "RewritePass",
+    "SizeReductionPass",
+    "cache_key",
+    "decompose_cached",
+    "deserialize_decomposition",
+    "map_parallel",
+    "serialize_decomposition",
+]

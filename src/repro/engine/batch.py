@@ -1,0 +1,249 @@
+"""Batch orchestrator: run many specifications through pipelines concurrently.
+
+The evaluation harness, the benchmark sweeps and the online scanner all face
+the same workload shape — dozens of independent ``(specification, pipeline
+config)`` decomposition jobs — so this module gives them one engine-level
+front door:
+
+* :func:`decompose_cached` — decompose one spec, consulting an optional
+  on-disk :class:`~repro.engine.cache.DecompositionCache` first;
+* :class:`BatchOrchestrator` — fan a list of :class:`BatchJob` out over a
+  ``multiprocessing`` pool, with every worker sharing the same cache
+  directory (writes are atomic, no locking needed);
+* :func:`map_parallel` — a generic fan-out helper for non-decomposition work
+  (used by the online scanner's width sweeps).
+
+Jobs carry a *spec builder* (an importable callable plus arguments) rather
+than built expressions: ``Anf``/``Context`` objects are cheap to rebuild and
+expensive to ship between processes.  Results come back as the cache's JSON
+records and are rebuilt into full :class:`Decomposition` objects in the
+parent, so a batch result is indistinguishable from an in-process run
+(modulo context identity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..anf.canonical import canonical_spec_digest
+from ..anf.expression import Anf
+from ..core.decompose import Decomposition, DecompositionOptions
+from .cache import (
+    ENGINE_CACHE_EPOCH,
+    SCHEMA,
+    DecompositionCache,
+    cache_key,
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+from .pipeline import Pipeline
+
+
+# ----------------------------------------------------------------------
+# Single-spec entry point (also the per-worker core)
+# ----------------------------------------------------------------------
+def decompose_cached(
+    outputs: Mapping[str, Anf],
+    options: DecompositionOptions | None = None,
+    input_words: Sequence[Sequence[str]] | None = None,
+    cache: DecompositionCache | None = None,
+    pipeline: Pipeline | None = None,
+) -> Tuple[Decomposition, bool]:
+    """Decompose ``outputs``; returns ``(decomposition, cache_hit)``.
+
+    With a ``cache``, the canonical spec digest plus the pipeline's config
+    key is looked up first and the result is persisted after a miss.
+    """
+    pipeline = pipeline or Pipeline.from_options(options)
+    if cache is None:
+        return pipeline.run(outputs, input_words=input_words, options=options), False
+    digest = canonical_spec_digest(outputs, input_words)
+    key = cache_key(digest, pipeline.config_key())
+    cached = cache.load(key)
+    if cached is not None:
+        return cached, True
+    decomposition = pipeline.run(outputs, input_words=input_words, options=options)
+    cache.store(key, decomposition)
+    return decomposition, False
+
+
+# ----------------------------------------------------------------------
+# Batch jobs
+# ----------------------------------------------------------------------
+@dataclass
+class BatchJob:
+    """One decomposition job: a spec builder plus a pipeline configuration.
+
+    ``builder(*args, **kwargs)`` must return either a mapping of output
+    expressions or a spec bundle exposing ``outputs`` (and optionally
+    ``input_words``), as every ``repro.benchcircuits`` builder does.  The
+    builder must be picklable (any module-level function is).
+    """
+
+    name: str
+    builder: Callable[..., object]
+    args: tuple = ()
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    options: Optional[DecompositionOptions] = None
+
+
+@dataclass
+class BatchResult:
+    """One finished job: the decomposition plus orchestration metadata."""
+
+    name: str
+    decomposition: Decomposition
+    seconds: float
+    cache_hit: bool
+
+
+def _spec_parts(spec: object) -> Tuple[Mapping[str, Anf], Optional[List[List[str]]]]:
+    """Outputs and input words of whatever a spec builder returned."""
+    if isinstance(spec, Mapping):
+        return spec, None
+    outputs = getattr(spec, "outputs", None)
+    if outputs is None:
+        raise TypeError(
+            f"spec builder returned {type(spec).__name__}, which has no 'outputs'"
+        )
+    return outputs, getattr(spec, "input_words", None)
+
+
+def _job_fingerprint(builder: Callable, args: tuple, kwargs: Dict[str, object],
+                     config_key: str) -> str:
+    """Stable fingerprint of a job's (builder identity, arguments, config)."""
+    rendered = "|".join((
+        SCHEMA,
+        ENGINE_CACHE_EPOCH,
+        f"{getattr(builder, '__module__', '?')}:{getattr(builder, '__qualname__', repr(builder))}",
+        repr(args),
+        repr(sorted(kwargs.items())),
+        config_key,
+    ))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def _execute_job(payload: tuple) -> Tuple[str, dict, float, bool]:
+    """Worker body: build the spec, decompose (through the cache), serialise.
+
+    With a cache, the job index is consulted first: a hit skips rebuilding
+    and re-hashing the specification entirely and streams the stored record
+    back.  On an index miss the spec is built, content-keyed, decomposed (or
+    loaded), and both layers are updated.
+    """
+    name, builder, args, kwargs, options, cache_dir, use_job_index = payload
+    cache = DecompositionCache(cache_dir) if cache_dir else None
+    start = time.perf_counter()
+    pipeline = Pipeline.from_options(options)
+    job_key = None
+    if cache is not None and use_job_index:
+        job_key = _job_fingerprint(builder, args, kwargs, pipeline.config_key())
+        content_key = cache.load_index(job_key)
+        if content_key is not None:
+            record = cache.load_raw(content_key)
+            if record is not None:
+                return name, record, time.perf_counter() - start, True
+    spec = builder(*args, **kwargs)
+    outputs, input_words = _spec_parts(spec)
+    if cache is None:
+        decomposition = pipeline.run(outputs, input_words=input_words, options=options)
+        return name, serialize_decomposition(decomposition), time.perf_counter() - start, False
+    digest = canonical_spec_digest(outputs, input_words)
+    content_key = cache_key(digest, pipeline.config_key())
+    record = cache.load_raw(content_key)
+    hit = record is not None
+    if record is None:
+        decomposition = pipeline.run(outputs, input_words=input_words, options=options)
+        record = cache.store(content_key, decomposition)
+    if job_key is not None:
+        cache.store_index(job_key, content_key)
+    return name, record, time.perf_counter() - start, hit
+
+
+# ----------------------------------------------------------------------
+# Generic parallel map
+# ----------------------------------------------------------------------
+def _pool_processes(requested: Optional[int], num_items: int) -> int:
+    if requested is not None:
+        return max(1, min(requested, num_items))
+    return max(1, min(os.cpu_count() or 1, num_items))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def map_parallel(func: Callable, items: Sequence, processes: Optional[int] = None) -> list:
+    """Apply a picklable function to every item, forking when it pays off.
+
+    ``processes=1`` (or a single item) degrades to a plain in-process loop,
+    which keeps the orchestrator usable in environments where forking is
+    restricted (set ``processes=1`` there).
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = _pool_processes(processes, len(items))
+    if workers == 1:
+        return [func(item) for item in items]
+    with _pool_context().Pool(workers) as pool:
+        return pool.map(func, items, chunksize=1)
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+class BatchOrchestrator:
+    """Run decomposition jobs concurrently against a shared on-disk cache.
+
+    The cache is content-addressed (canonical spec digest + pipeline config);
+    on top of it a job index keyed by the builder's qualified name and
+    arguments lets warm re-runs skip spec construction and hashing entirely.
+    Pass ``use_job_index=False`` to force content-only keying (e.g. while
+    iterating on a spec builder's implementation).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        processes: Optional[int] = None,
+        use_job_index: bool = True,
+    ) -> None:
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.processes = processes
+        self.use_job_index = use_job_index
+        if self.cache_dir is not None:
+            # Create the directory up front so concurrent workers never race
+            # on mkdir, and so a bad path fails in the parent.
+            DecompositionCache(self.cache_dir)
+
+    def run(self, jobs: Sequence[BatchJob]) -> Dict[str, BatchResult]:
+        """Execute every job; returns ``{job name: BatchResult}``.
+
+        Job names must be unique — they key the result dict.
+        """
+        jobs = list(jobs)
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("batch job names must be unique")
+        payloads = [
+            (job.name, job.builder, job.args, dict(job.kwargs), job.options,
+             self.cache_dir, self.use_job_index)
+            for job in jobs
+        ]
+        raw = map_parallel(_execute_job, payloads, processes=self.processes)
+        results: Dict[str, BatchResult] = {}
+        for name, record, seconds, hit in raw:
+            results[name] = BatchResult(
+                name=name,
+                decomposition=deserialize_decomposition(record),
+                seconds=seconds,
+                cache_hit=hit,
+            )
+        return results

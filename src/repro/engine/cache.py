@@ -1,0 +1,282 @@
+"""On-disk result cache for decomposition runs.
+
+Cache entries are keyed by ``sha256(spec digest + pipeline config)`` — the
+spec digest is the canonical, context-independent hash of the output
+functions (:func:`repro.anf.canonical_spec_digest`) and the config key is the
+pipeline's exact pass configuration.  The stored value is a full JSON
+serialisation of the :class:`~repro.core.decompose.Decomposition`, including
+the per-iteration trace, so a warm cache reproduces the cold result exactly
+(modulo the identity of the ``Context`` object, which is rebuilt with the
+same variable ordering so all monomial bitmasks survive round-tripping).
+
+Writes are atomic (tmp file + rename), so many orchestrator workers can
+share one cache directory without locking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+from ..anf.context import Context
+from ..anf.expression import Anf
+from ..core.decompose import Block, Decomposition, DecompositionOptions, IterationRecord
+from ..core.identities import Identity
+
+SCHEMA = "repro-decomposition-v1"
+
+#: Folded into every cache key (content and job index).  Cache keys carry no
+#: automatic code fingerprint, so bump this whenever an engine change is
+#: *allowed* to alter decomposition results — every existing cache entry is
+#: invalidated at once.  (Behaviour-preserving changes need no bump; the
+#: parity tests enforce that they really are behaviour-preserving.)
+ENGINE_CACHE_EPOCH = "epoch-1"
+
+
+# ----------------------------------------------------------------------
+# Decomposition (de)serialisation
+# ----------------------------------------------------------------------
+def _anf_to_list(expr: Anf) -> List[int]:
+    return sorted(expr.terms)
+
+
+def _anf_from_list(ctx: Context, terms: List[int]) -> Anf:
+    return Anf._raw(ctx, frozenset(terms))
+
+
+def serialize_decomposition(decomposition: Decomposition) -> dict:
+    """Full JSON-serialisable rendering of a decomposition result."""
+    return {
+        "schema": SCHEMA,
+        "names": list(decomposition.ctx.names),
+        "options": asdict(decomposition.options),
+        "primary_inputs": list(decomposition.primary_inputs),
+        "original": {
+            port: _anf_to_list(expr) for port, expr in decomposition.original.items()
+        },
+        "outputs": {
+            port: _anf_to_list(expr) for port, expr in decomposition.outputs.items()
+        },
+        "blocks": [
+            {
+                "name": block.name,
+                "level": block.level,
+                "definition": _anf_to_list(block.definition),
+                "group": list(block.group),
+            }
+            for block in decomposition.blocks
+        ],
+        "iterations": [
+            {
+                "index": record.index,
+                "group": list(record.group),
+                "basis_definitions": [_anf_to_list(e) for e in record.basis_definitions],
+                "block_names": list(record.block_names),
+                "substitutions": [_anf_to_list(e) for e in record.substitutions],
+                "identities_found": [
+                    {
+                        "expr": _anf_to_list(identity.expr),
+                        "kind": identity.kind,
+                        "description": identity.description,
+                    }
+                    for identity in record.identities_found
+                ],
+                "removed_blocks": {
+                    name: _anf_to_list(expr)
+                    for name, expr in record.removed_blocks.items()
+                },
+                "size_before": record.size_before,
+                "size_after": record.size_after,
+            }
+            for record in decomposition.iterations
+        ],
+    }
+
+
+def deserialize_decomposition(data: dict) -> Decomposition:
+    """Rebuild a decomposition in a fresh :class:`Context`.
+
+    The context declares the recorded variable names in their original order,
+    so every stored monomial bitmask is valid as-is.
+    """
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported decomposition record schema: {data.get('schema')!r}")
+    ctx = Context(data["names"])
+    options = DecompositionOptions(**data["options"])
+    blocks = [
+        Block(
+            name=entry["name"],
+            level=entry["level"],
+            definition=_anf_from_list(ctx, entry["definition"]),
+            group=list(entry["group"]),
+        )
+        for entry in data["blocks"]
+    ]
+    iterations = [
+        IterationRecord(
+            index=entry["index"],
+            group=list(entry["group"]),
+            basis_definitions=[_anf_from_list(ctx, e) for e in entry["basis_definitions"]],
+            block_names=list(entry["block_names"]),
+            substitutions=[_anf_from_list(ctx, e) for e in entry["substitutions"]],
+            identities_found=[
+                Identity(
+                    expr=_anf_from_list(ctx, identity["expr"]),
+                    kind=identity["kind"],
+                    description=identity["description"],
+                )
+                for identity in entry["identities_found"]
+            ],
+            removed_blocks={
+                name: _anf_from_list(ctx, e)
+                for name, e in entry["removed_blocks"].items()
+            },
+            size_before=entry["size_before"],
+            size_after=entry["size_after"],
+        )
+        for entry in data["iterations"]
+    ]
+    return Decomposition(
+        ctx=ctx,
+        original={port: _anf_from_list(ctx, e) for port, e in data["original"].items()},
+        outputs={port: _anf_from_list(ctx, e) for port, e in data["outputs"].items()},
+        blocks=blocks,
+        iterations=iterations,
+        options=options,
+        primary_inputs=list(data["primary_inputs"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+def cache_key(spec_digest: str, config_key: str) -> str:
+    """Combined cache key for (specification, pipeline configuration)."""
+    combined = f"{SCHEMA}\n{ENGINE_CACHE_EPOCH}\n{spec_digest}\n{config_key}"
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()
+
+
+class DecompositionCache:
+    """Directory of ``<key>.json`` decomposition records."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def load(self, key: str) -> Optional[Decomposition]:
+        """The cached decomposition for ``key``, or ``None``.
+
+        A corrupt, truncated, or structurally invalid record (e.g. from a
+        killed writer on a filesystem without atomic rename, or a foreign
+        file at the key path) is treated as a miss.
+        """
+        raw = self.load_raw(key)
+        if raw is None:
+            return None
+        try:
+            return deserialize_decomposition(raw)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def load_raw(self, key: str) -> Optional[dict]:
+        """The cached serialised record for ``key``, or ``None``.
+
+        Records that parse but do not look like decomposition records (wrong
+        schema, missing sections — e.g. a foreign or truncated file at the
+        key path) are treated as misses, so callers that ship raw records
+        across processes don't crash on deserialisation.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+            return None
+        required = ("names", "options", "primary_inputs", "original",
+                    "outputs", "blocks", "iterations")
+        if any(field_name not in record for field_name in required):
+            return None
+        return record
+
+    def store(self, key: str, decomposition: Decomposition) -> dict:
+        """Serialise and persist a result; returns the stored record."""
+        data = serialize_decomposition(decomposition)
+        self.store_raw(key, data)
+        return data
+
+    def store_raw(self, key: str, data: dict) -> None:
+        """Atomically persist an already-serialised record."""
+        path = self._path(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Job index: fingerprint of (builder, args, config) -> content key.
+    #
+    # The content-addressed records above are the source of truth; the index
+    # is a shortcut that lets orchestrator workers skip rebuilding and
+    # re-hashing a specification they have produced before.  It trusts spec
+    # builders to be deterministic — delete the cache directory (or disable
+    # the index) after changing a builder's semantics.
+    # ------------------------------------------------------------------
+    def _index_path(self, job_key: str) -> Path:
+        return self.root / "index" / f"{job_key}.key"
+
+    def load_index(self, job_key: str) -> Optional[str]:
+        """The content key recorded for a job fingerprint, or ``None``."""
+        try:
+            content_key = self._index_path(job_key).read_text().strip()
+        except OSError:
+            return None
+        return content_key or None
+
+    def store_index(self, job_key: str, content_key: str) -> None:
+        """Atomically record a job fingerprint -> content key association."""
+        index_dir = self.root / "index"
+        index_dir.mkdir(exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=index_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(content_key)
+            os.replace(tmp_path, self._index_path(job_key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every record (and the job index); returns how many records."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        for path in self.root.glob("index/*.key"):
+            path.unlink()
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,155 @@
+"""The pass pipeline that replaces the monolithic Fig. 5 loop.
+
+A :class:`Pipeline` is an ordered list of
+:class:`~repro.engine.passes.Pass` objects run once per iteration until every
+output is reduced to a literal.  ``Pipeline.from_options`` maps each
+:class:`~repro.core.decompose.DecompositionOptions` flag to pass presence, so
+the compatibility wrapper ``progressive_decomposition`` and every ablation
+are just different pipelines over the same engine.
+
+``config_key()`` renders the pipeline's exact configuration as a stable
+string; together with the canonical spec digest
+(:func:`repro.anf.canonical_spec_digest`) it keys the on-disk result cache of
+:mod:`repro.engine.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from ..anf.expression import Anf
+from ..core.decompose import Decomposition, DecompositionOptions
+from .passes import (
+    BasisExtractionPass,
+    GroupingPass,
+    IdentityAnalysisPass,
+    LinearDependencePass,
+    NullspaceMergePass,
+    Pass,
+    RewritePass,
+    SizeReductionPass,
+)
+from .state import EngineState
+
+
+class Pipeline:
+    """An ordered list of passes plus the iteration driver."""
+
+    def __init__(self, passes: Sequence[Pass], max_iterations: int = 128) -> None:
+        self.passes: List[Pass] = list(passes)
+        self.max_iterations = max_iterations
+        names = [p.name for p in self.passes]
+        for required in (GroupingPass, BasisExtractionPass, RewritePass):
+            if self._find(required) is None:
+                raise ValueError(
+                    f"a pipeline needs a {required.__name__} "
+                    f"(got passes: {', '.join(names) or 'none'})"
+                )
+        if not isinstance(self.passes[-1], RewritePass):
+            raise ValueError("the RewritePass must run last in each iteration")
+        identity = self._find(IdentityAnalysisPass)
+        rewrite = self._find(RewritePass)
+        if identity is not None and identity.block_prefix != rewrite.block_prefix:
+            # propose_names() is first-caller-wins, so a mismatch would
+            # silently ignore one of the two prefixes.
+            raise ValueError(
+                "IdentityAnalysisPass and RewritePass must agree on block_prefix "
+                f"({identity.block_prefix!r} != {rewrite.block_prefix!r})"
+            )
+
+    def _find(self, pass_type: type) -> Optional[Pass]:
+        """The first pass that is an instance of ``pass_type`` (or ``None``)."""
+        for p in self.passes:
+            if isinstance(p, pass_type):
+                return p
+        return None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_options(cls, options: DecompositionOptions | None = None) -> "Pipeline":
+        """The pipeline equivalent of the seed loop for the given options.
+
+        Every boolean option flag becomes the presence or absence of the
+        corresponding pass; the numeric knobs parameterise the passes.
+        """
+        options = options or DecompositionOptions()
+        passes: List[Pass] = [GroupingPass(options.k), BasisExtractionPass()]
+        if options.use_nullspaces:
+            passes.append(NullspaceMergePass())
+        if options.use_linear_dependence:
+            passes.append(LinearDependencePass())
+        if options.use_size_reduction:
+            passes.append(SizeReductionPass())
+        if options.use_identities:
+            passes.append(
+                IdentityAnalysisPass(options.identity_products, options.block_prefix)
+            )
+        passes.append(RewritePass(options.block_prefix))
+        return cls(passes, max_iterations=options.max_iterations)
+
+    def to_options(self) -> DecompositionOptions:
+        """The :class:`DecompositionOptions` this pipeline corresponds to.
+
+        Used when a hand-assembled pipeline produces a
+        :class:`~repro.core.decompose.Decomposition` (whose ``options`` field
+        records how it was made).
+        """
+        grouping = self._find(GroupingPass)
+        identity = self._find(IdentityAnalysisPass)
+        rewrite = self._find(RewritePass)
+        return DecompositionOptions(
+            k=grouping.k,
+            max_iterations=self.max_iterations,
+            use_nullspaces=self._find(NullspaceMergePass) is not None,
+            use_linear_dependence=self._find(LinearDependencePass) is not None,
+            use_size_reduction=self._find(SizeReductionPass) is not None,
+            use_identities=identity is not None,
+            identity_products=identity.max_products if identity else 3,
+            block_prefix=rewrite.block_prefix,
+        )
+
+    # ------------------------------------------------------------------
+    def config_key(self) -> str:
+        """Stable textual fingerprint of the pipeline configuration."""
+        parts = []
+        for p in self.passes:
+            params = p.params()
+            if params:
+                rendered = ",".join(f"{k}={params[k]}" for k in sorted(params))
+                parts.append(f"{p.name}({rendered})")
+            else:
+                parts.append(p.name)
+        return f"max_iterations={self.max_iterations};" + ">".join(parts)
+
+    def describe(self) -> str:
+        """Human-readable pass listing."""
+        return " -> ".join(p.name for p in self.passes)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        outputs: Mapping[str, Anf],
+        input_words: Sequence[Sequence[str]] | None = None,
+        options: DecompositionOptions | None = None,
+    ) -> Decomposition:
+        """Run the pipeline to a full :class:`Decomposition`.
+
+        ``options`` only annotates the result (and is reconstructed from the
+        pass list when omitted); the behaviour is determined by the passes.
+        """
+        state = EngineState.from_outputs(
+            outputs, options or self.to_options(), input_words
+        )
+        while not state.done():
+            if state.level >= self.max_iterations:
+                raise RuntimeError(
+                    f"progressive decomposition did not converge in "
+                    f"{self.max_iterations} iterations"
+                )
+            state.begin_iteration()
+            for p in self.passes:
+                p.run(state)
+        return state.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Pipeline({self.describe()})"

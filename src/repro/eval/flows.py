@@ -23,8 +23,10 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from ..anf.expression import Anf
 from ..circuit.netlist import Netlist
-from ..core.decompose import Decomposition, DecompositionOptions, progressive_decomposition
+from ..core.decompose import Decomposition, DecompositionOptions
 from ..core.structure import decomposition_to_netlist
+from ..engine.batch import decompose_cached
+from ..engine.cache import DecompositionCache
 from ..synth.library import Library, default_library
 from ..synth.synthesize import SynthesisResult, synthesize_expressions, synthesize_netlist
 
@@ -106,11 +108,22 @@ def run_progressive_flow(
     options: DecompositionOptions | None = None,
     block_strategy: str = "auto",
     objective: str = "balanced",
+    decomposition: Optional[Decomposition] = None,
+    cache: DecompositionCache | None = None,
 ) -> FlowResult:
-    """Structure the specification with Progressive Decomposition, then synthesise."""
+    """Structure the specification with Progressive Decomposition, then synthesise.
+
+    The decomposition runs through the pass-pipeline engine.  A precomputed
+    ``decomposition`` (e.g. from the batch orchestrator) skips the engine
+    entirely; otherwise an optional on-disk ``cache`` is consulted first.
+    """
     library = library or default_library()
     start = time.perf_counter()
-    decomposition = progressive_decomposition(outputs, options, input_words=input_words)
+    cache_hit = False
+    if decomposition is None:
+        decomposition, cache_hit = decompose_cached(
+            outputs, options, input_words=input_words, cache=cache
+        )
     netlist = decomposition_to_netlist(
         decomposition, strategy=block_strategy, library=library, objective=objective
     )
@@ -120,4 +133,6 @@ def run_progressive_flow(
         "blocks": len(decomposition.blocks),
         "levels": decomposition.num_levels,
     }
+    if cache_hit:
+        notes["decomposition_cached"] = True
     return FlowResult(label, "progressive", result, elapsed, decomposition, notes)

@@ -34,7 +34,8 @@ from ..benchcircuits import (
     subtracter_carry_comparator_netlist,
     three_input_adder_spec,
 )
-from ..core.decompose import DecompositionOptions
+from ..core.decompose import Decomposition
+from ..engine.batch import BatchJob, BatchOrchestrator
 from ..synth.library import Library, default_library
 from .flows import FlowResult, run_baseline_flow, run_progressive_flow, run_structural_flow
 
@@ -118,39 +119,68 @@ PAPER_TABLE1: Dict[str, Dict[str, PaperNumbers]] = {
 }
 
 
-def row_lzd(width: int = 16, library: Library | None = None) -> Table1Row:
+def _progressive_variant(
+    spec_builder: Callable,
+    width: int,
+    library: Library,
+    pd_decomposition: Optional[Decomposition],
+) -> FlowResult:
+    """The Progressive Decomposition variant of a row whose spec feeds nothing else.
+
+    With a precomputed decomposition (batch/orchestrated builds) the flat
+    Reed-Muller specification is never needed, so it is not built — at full
+    widths that construction is the expensive part of several rows.
+    """
+    if pd_decomposition is not None:
+        return run_progressive_flow(
+            {}, None, "Progressive Decomposition", library,
+            decomposition=pd_decomposition,
+        )
+    spec = spec_builder(width)
+    return run_progressive_flow(
+        spec.outputs, spec.input_words, "Progressive Decomposition", library
+    )
+
+
+def row_lzd(width: int = 16, library: Library | None = None,
+            pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "16-bit LZD/LOD"."""
     library = library or default_library()
     spec = lzd_spec(width)
     variants = [
         run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
         run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+                             "Progressive Decomposition", library,
+                             decomposition=pd_decomposition),
         run_structural_flow(oklobdzija_lzd_netlist(width), "Oklobdzija (manual)", library),
     ]
     return Table1Row(f"{width}-bit LZD/LOD", variants, PAPER_TABLE1.get("16-bit LZD/LOD", {}))
 
 
-def row_lod(width: int = 32, library: Library | None = None) -> Table1Row:
+def row_lod(width: int = 32, library: Library | None = None,
+            pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "32-bit LOD"."""
     library = library or default_library()
     spec = lod_spec(width)
     variants = [
         run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
         run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+                             "Progressive Decomposition", library,
+                             decomposition=pd_decomposition),
     ]
     return Table1Row(f"{width}-bit LOD", variants, PAPER_TABLE1.get("32-bit LOD", {}))
 
 
-def row_majority(width: int = 15, library: Library | None = None) -> Table1Row:
+def row_majority(width: int = 15, library: Library | None = None,
+                 pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "15-bit Majority function"."""
     library = library or default_library()
     spec = majority_spec(width)
     variants = [
         run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
         run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+                             "Progressive Decomposition", library,
+                             decomposition=pd_decomposition),
     ]
     return Table1Row(
         f"{width}-bit Majority function", variants,
@@ -158,22 +188,22 @@ def row_majority(width: int = 15, library: Library | None = None) -> Table1Row:
     )
 
 
-def row_counter(width: int = 16, library: Library | None = None) -> Table1Row:
+def row_counter(width: int = 16, library: Library | None = None,
+                pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "16-bit Counter"."""
     library = library or default_library()
-    spec = counter_spec(width)
     variants = [
         run_structural_flow(adder_chain_counter_netlist(width),
                             "Unoptimised (using adder tree)", library, kind="unoptimised"),
-        run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+        _progressive_variant(counter_spec, width, library, pd_decomposition),
         run_structural_flow(compressor_tree_counter_netlist(width), "TGA", library),
     ]
     return Table1Row(f"{width}-bit Counter", variants, PAPER_TABLE1.get("16-bit Counter", {}))
 
 
 def row_adder(width: int = 16, library: Library | None = None,
-              pd_width: Optional[int] = None) -> Table1Row:
+              pd_width: Optional[int] = None,
+              pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "16-bit Adder".
 
     ``pd_width`` lets callers run Progressive Decomposition at a narrower
@@ -182,12 +212,10 @@ def row_adder(width: int = 16, library: Library | None = None,
     """
     library = library or default_library()
     pd_width = pd_width or width
-    spec = adder_spec(pd_width)
     variants = [
         run_structural_flow(ripple_carry_adder_netlist(width),
                             "Unoptimised (Ripple Carry Adder)", library, kind="unoptimised"),
-        run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+        _progressive_variant(adder_spec, pd_width, library, pd_decomposition),
         run_structural_flow(carry_lookahead_adder_netlist(width), "DesignWare (CLA)", library),
     ]
     notes = ""
@@ -196,15 +224,14 @@ def row_adder(width: int = 16, library: Library | None = None,
     return Table1Row(f"{width}-bit Adder", variants, PAPER_TABLE1.get("16-bit Adder", {}), notes)
 
 
-def row_comparator(width: int = 15, library: Library | None = None) -> Table1Row:
+def row_comparator(width: int = 15, library: Library | None = None,
+                   pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "15-bit Comparator"."""
     library = library or default_library()
-    spec = comparator_spec(width)
     variants = [
         run_structural_flow(progressive_comparator_netlist(width),
                             "Unoptimised (progressive comparator)", library, kind="unoptimised"),
-        run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+        _progressive_variant(comparator_spec, width, library, pd_decomposition),
         run_structural_flow(subtracter_carry_comparator_netlist(width),
                             "Carry out of Subtracter", library),
     ]
@@ -212,7 +239,8 @@ def row_comparator(width: int = 15, library: Library | None = None) -> Table1Row
                      PAPER_TABLE1.get("15-bit Comparator", {}))
 
 
-def row_three_input_adder(width: int = 8, library: Library | None = None) -> Table1Row:
+def row_three_input_adder(width: int = 8, library: Library | None = None,
+                          pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
     """Table 1 row "12-bit Three-Input Adder" (default width reduced, see DESIGN.md)."""
     library = library or default_library()
     spec = three_input_adder_spec(width)
@@ -221,7 +249,8 @@ def row_three_input_adder(width: int = 8, library: Library | None = None) -> Tab
         run_structural_flow(cascaded_rca_netlist(width), "RCA(RCA(A, B), C)",
                             library, kind="manual"),
         run_progressive_flow(spec.outputs, spec.input_words,
-                             "Progressive Decomposition", library),
+                             "Progressive Decomposition", library,
+                             decomposition=pd_decomposition),
         run_structural_flow(csa_adder_netlist(width), "CSA + Adder", library),
     ]
     notes = ""
@@ -246,12 +275,61 @@ ROW_BUILDERS: Dict[str, Callable[..., Table1Row]] = {
 }
 
 
+# Row widths used by ``build_table1``: per row, the structural (quick, full)
+# widths and the Progressive Decomposition (quick, full) widths.  They only
+# differ for the adder, whose flat Reed-Muller input grows as roughly
+# ``2^width`` while the structural variants keep the paper's 16 bits.
+ROW_WIDTHS: Dict[str, tuple[tuple[int, int], tuple[int, int]]] = {
+    "lzd": ((8, 16), (8, 16)),
+    "lod": ((16, 32), (16, 32)),
+    "majority": ((7, 15), (7, 15)),
+    "counter": ((8, 16), (8, 16)),
+    "adder": ((16, 16), (8, 12)),
+    "comparator": ((8, 15), (8, 15)),
+    "three_input_adder": ((4, 8), (4, 8)),
+}
+
+# The specification builder whose outputs the Progressive Decomposition
+# variant of each row decomposes (used by the batch orchestrator and the
+# full-width sweep test).
+PD_SPEC_BUILDERS: Dict[str, Callable] = {
+    "lzd": lzd_spec,
+    "lod": lod_spec,
+    "majority": majority_spec,
+    "counter": counter_spec,
+    "adder": adder_spec,
+    "comparator": comparator_spec,
+    "three_input_adder": three_input_adder_spec,
+}
+
+
+def pd_width_for_row(name: str, quick: bool) -> int:
+    """Width of the specification the row's PD variant decomposes."""
+    return ROW_WIDTHS[name][1][0 if quick else 1]
+
+
+def _build_row(
+    name: str,
+    library: Library,
+    quick: bool,
+    pd_decomposition: Optional[Decomposition] = None,
+) -> Table1Row:
+    builder = ROW_BUILDERS[name]
+    width = ROW_WIDTHS[name][0][0 if quick else 1]
+    pd_width = pd_width_for_row(name, quick)
+    if pd_width != width:
+        return builder(
+            width, library, pd_width=pd_width, pd_decomposition=pd_decomposition
+        )
+    return builder(width, library, pd_decomposition=pd_decomposition)
+
+
 def build_table1(
     library: Library | None = None,
     quick: bool = False,
     rows: Sequence[str] | None = None,
 ) -> List[Table1Row]:
-    """Build every requested row of Table 1.
+    """Build every requested row of Table 1 sequentially.
 
     ``quick`` selects reduced widths so the whole table regenerates in a few
     minutes of pure-Python runtime; the full widths follow the paper except
@@ -259,25 +337,46 @@ def build_table1(
     """
     library = library or default_library()
     selected = list(rows) if rows is not None else list(ROW_BUILDERS)
+    return [_build_row(name, library, quick) for name in selected]
+
+
+def build_table1_batch(
+    library: Library | None = None,
+    quick: bool = False,
+    rows: Sequence[str] | None = None,
+    cache_dir: str | None = None,
+    processes: int | None = None,
+    orchestrator: BatchOrchestrator | None = None,
+) -> List[Table1Row]:
+    """Build Table 1 with the decompositions run by the batch orchestrator.
+
+    The Progressive Decomposition variants — the expensive part of every row
+    — run concurrently in worker processes, and with a ``cache_dir`` their
+    results persist on disk so repeated table builds skip the engine
+    entirely.  The rows themselves (structural variants, synthesis) are then
+    assembled in-process exactly as :func:`build_table1` does.
+    """
+    library = library or default_library()
+    selected = list(rows) if rows is not None else list(ROW_BUILDERS)
+    orchestrator = orchestrator or BatchOrchestrator(cache_dir, processes)
+    jobs = [
+        BatchJob(name, PD_SPEC_BUILDERS[name], (pd_width_for_row(name, quick),))
+        for name in selected
+    ]
+    results = orchestrator.run(jobs)
     table: List[Table1Row] = []
     for name in selected:
-        builder = ROW_BUILDERS[name]
-        if name == "lzd":
-            table.append(builder(8 if quick else 16, library))
-        elif name == "lod":
-            table.append(builder(16 if quick else 32, library))
-        elif name == "majority":
-            table.append(builder(7 if quick else 15, library))
-        elif name == "counter":
-            table.append(builder(8 if quick else 16, library))
-        elif name == "adder":
-            table.append(builder(16, library, pd_width=8 if quick else 12))
-        elif name == "comparator":
-            table.append(builder(8 if quick else 15, library))
-        elif name == "three_input_adder":
-            table.append(builder(4 if quick else 8, library))
-        else:  # pragma: no cover - defensive
-            table.append(builder(library=library))
+        outcome = results[name]
+        row = _build_row(name, library, quick, pd_decomposition=outcome.decomposition)
+        # run_progressive_flow only timed netlist + synthesis (the engine ran
+        # in the orchestrator); fold the worker-side seconds back into the
+        # row so runtime_s stays comparable with sequential builds.
+        progressive = row.progressive()
+        progressive.runtime_seconds += outcome.seconds
+        progressive.notes["decomposition_s"] = round(outcome.seconds, 3)
+        if outcome.cache_hit:
+            progressive.notes["decomposition_cached"] = True
+        table.append(row)
     return table
 
 

@@ -1,0 +1,191 @@
+"""The seed's monolithic Fig. 5 loop, kept verbatim as an executable spec.
+
+The pass-pipeline engine (``repro.engine``) replaced this loop; the parity
+property tests in ``test_engine_parity.py`` run both on the same inputs and
+assert bit-identical results — blocks, outputs, and the full per-iteration
+trace.  Apart from the imports and the function name, this file is the seed
+implementation unchanged; do not "improve" it.
+"""
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.anf.expression import Anf
+from repro.core.basis import extract_basis
+from repro.core.decompose import Block, Decomposition, DecompositionOptions, IterationRecord
+from repro.core.grouping import find_group, support_of_outputs
+from repro.core.identities import (
+    Identity,
+    IdentityAnalysis,
+    find_identities,
+    reduce_basis_using_identities,
+)
+from repro.core.optimize import (
+    improve_basis_by_size_reduction,
+    minimize_basis_by_linear_dependence,
+)
+from repro.core.rewrite import rewrite_identities, rewrite_outputs
+
+def _total_literals(outputs: Mapping[str, Anf]) -> int:
+    return sum(expr.literal_count for expr in outputs.values())
+
+
+def _is_terminal(expr: Anf) -> bool:
+    """Outputs are terminal once they depend on at most one variable."""
+    mask = expr.support_mask
+    return mask == 0 or (mask & (mask - 1)) == 0
+
+
+def reference_decomposition(
+    outputs: Mapping[str, Anf],
+    options: DecompositionOptions | None = None,
+    input_words: Sequence[Sequence[str]] | None = None,
+) -> Decomposition:
+    """Run Progressive Decomposition on a multi-output specification.
+
+    ``input_words`` lists the primary-input buses (LSB first) so that
+    ``findGroup`` can pick the least-significant available bits of each
+    integer operand, as the paper prescribes; by default all primary inputs
+    are treated as a single word in declaration order.
+    """
+    if not outputs:
+        raise ValueError("progressive_decomposition needs at least one output")
+    options = options or DecompositionOptions()
+    first_expr = next(iter(outputs.values()))
+    ctx = first_expr.ctx
+    for expr in outputs.values():
+        ctx.require_same(expr.ctx)
+
+    original = dict(outputs)
+    current: Dict[str, Anf] = dict(outputs)
+    primary_inputs = support_of_outputs(current, ctx)
+    if input_words is None:
+        input_words = [list(primary_inputs)]
+
+    blocks: List[Block] = []
+    iterations: List[IterationRecord] = []
+    identities: List[Anf] = []
+    level = 0
+    forced_full_group = False
+
+    while not all(_is_terminal(expr) for expr in current.values()):
+        if level >= options.max_iterations:
+            raise RuntimeError(
+                f"progressive decomposition did not converge in {options.max_iterations} iterations"
+            )
+        level += 1
+        active = {port: expr for port, expr in current.items() if not _is_terminal(expr)}
+        size_before = _total_literals(current)
+
+        if forced_full_group:
+            group = support_of_outputs(active, ctx)
+        else:
+            group = find_group(active, options.k, ctx, primary_inputs, input_words, identities)
+        if not group:
+            group = support_of_outputs(active, ctx)
+
+        extraction = extract_basis(
+            active, group, identities if options.use_identities else (), ctx,
+            use_nullspaces=options.use_nullspaces,
+        )
+        pair_list = extraction.pair_list
+        if options.use_linear_dependence:
+            pair_list = minimize_basis_by_linear_dependence(pair_list)
+        if options.use_size_reduction:
+            pair_list = improve_basis_by_size_reduction(pair_list)
+        extraction.pair_list = pair_list
+
+        basis_definitions = pair_list.firsts()
+
+        # Propose names: existing literals keep their own name, real blocks get
+        # fresh names at this level.
+        proposed_names: List[str] = []
+        fresh_index = 0
+        for definition in basis_definitions:
+            if definition.is_literal:
+                proposed_names.append(definition.literal_name)
+            else:
+                proposed_names.append(f"{options.block_prefix}{level}_{fresh_index}")
+                fresh_index += 1
+
+        # Identities among the prospective blocks.
+        identities_found: List[Identity] = []
+        analysis: Optional[IdentityAnalysis] = None
+        if options.use_identities and basis_definitions:
+            identities_found = find_identities(
+                proposed_names, basis_definitions, ctx, options.identity_products
+            )
+            analysis = reduce_basis_using_identities(
+                proposed_names, basis_definitions, identities_found, ctx
+            )
+        removed: Dict[str, Anf] = dict(analysis.replacements) if analysis else {}
+
+        # Build the substitution for every pair and create the real blocks.
+        substitutions: List[Anf] = []
+        block_names: List[str] = []
+        new_blocks: List[Block] = []
+        for name, definition in zip(proposed_names, basis_definitions):
+            if definition.is_literal:
+                substitutions.append(definition)
+                block_names.append(name)
+                continue
+            if name in removed:
+                substitutions.append(removed[name])
+                block_names.append(name)
+                continue
+            ctx.add_var(name)
+            new_blocks.append(Block(name, level, definition, list(group)))
+            substitutions.append(Anf.var(ctx, name))
+            block_names.append(name)
+
+        rewritten = rewrite_outputs(extraction, substitutions, ctx)
+        next_outputs = dict(current)
+        next_outputs.update(rewritten)
+
+        # Carry identities forward: drop those mentioning the consumed group,
+        # add the product identities over the surviving new blocks.
+        identities = rewrite_identities(identities, group, ctx)
+        if analysis is not None:
+            surviving = {block.name for block in new_blocks} | set(primary_inputs)
+            for identity in analysis.identities:
+                if identity.kind != "product":
+                    continue
+                if set(identity.expr.support) <= surviving:
+                    identities.append(identity.expr)
+
+        size_after = _total_literals(next_outputs)
+        iterations.append(
+            IterationRecord(
+                index=level,
+                group=list(group),
+                basis_definitions=basis_definitions,
+                block_names=block_names,
+                substitutions=substitutions,
+                identities_found=identities_found,
+                removed_blocks=removed,
+                size_before=size_before,
+                size_after=size_after,
+            )
+        )
+
+        made_progress = bool(new_blocks) or any(
+            next_outputs[port] != current[port] for port in current
+        )
+        blocks.extend(new_blocks)
+        current = next_outputs
+
+        if not made_progress:
+            if forced_full_group:
+                raise RuntimeError("progressive decomposition stalled even with a full group")
+            forced_full_group = True
+        else:
+            forced_full_group = False
+
+    return Decomposition(
+        ctx=ctx,
+        original=original,
+        outputs=current,
+        blocks=blocks,
+        iterations=iterations,
+        options=options,
+        primary_inputs=primary_inputs,
+    )

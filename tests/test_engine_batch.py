@@ -1,0 +1,221 @@
+"""Tests for canonical spec hashing, the on-disk cache, and the orchestrator."""
+
+import time
+
+import pytest
+
+from reference_loop import reference_decomposition
+from test_engine_parity import assert_bit_identical
+
+from repro.anf import Context, canonical_spec_digest, canonical_spec_payload, majority, parse, variables
+from repro.benchcircuits import adder_spec, counter_spec, majority_spec
+from repro.core import DecompositionOptions, progressive_decomposition
+from repro.engine import (
+    BatchJob,
+    BatchOrchestrator,
+    DecompositionCache,
+    Pipeline,
+    cache_key,
+    decompose_cached,
+    deserialize_decomposition,
+    serialize_decomposition,
+)
+
+
+def _majority_outputs(width=7):
+    ctx = Context()
+    bits = ctx.bus("a", width)
+    return {"maj": majority(variables(ctx, bits), ctx)}, [bits]
+
+
+class TestCanonicalDigest:
+    def test_independent_of_context_identity_and_unused_vars(self):
+        c1 = Context(["a", "b", "c"])
+        c2 = Context(["a", "b", "c", "unused_tag"])
+        e1 = {"f": parse(c1, "a*b ^ c"), "g": parse(c1, "b ^ 1")}
+        e2 = {"f": parse(c2, "a*b ^ c"), "g": parse(c2, "b ^ 1")}
+        assert canonical_spec_digest(e1) == canonical_spec_digest(e2)
+        assert canonical_spec_payload(e1) == canonical_spec_payload(e2)
+
+    def test_declaration_order_is_part_of_the_key(self):
+        # findGroup iterates candidates in declaration order, so the same
+        # functions declared differently may decompose differently — the
+        # digest must keep such specs apart (a warm hit must always be what
+        # the cold run would have produced).
+        c1 = Context(["a", "b", "c"])
+        c2 = Context(["c", "b", "a"])
+        e1 = {"f": parse(c1, "a*b ^ c")}
+        e2 = {"f": parse(c2, "a*b ^ c")}
+        assert canonical_spec_digest(e1) != canonical_spec_digest(e2)
+
+    def test_distinguishes_functions_ports_and_words(self):
+        ctx = Context(["a", "b", "c"])
+        base = {"f": parse(ctx, "a*b ^ c")}
+        assert canonical_spec_digest(base) != canonical_spec_digest(
+            {"f": parse(ctx, "a*b ^ c ^ 1")}
+        )
+        assert canonical_spec_digest(base) != canonical_spec_digest(
+            {"h": parse(ctx, "a*b ^ c")}
+        )
+        assert canonical_spec_digest(base, [["a", "b"], ["c"]]) != canonical_spec_digest(
+            base, [["a", "b", "c"]]
+        )
+
+    def test_same_builder_same_digest_across_contexts(self):
+        first = counter_spec(6)
+        second = counter_spec(6)
+        assert canonical_spec_digest(
+            first.outputs, first.input_words
+        ) == canonical_spec_digest(second.outputs, second.input_words)
+
+    def test_wide_spec_uses_multiple_chunks(self):
+        # > 16 variables exercises the multi-chunk remap path.
+        spec = adder_spec(10)
+        twin = adder_spec(10)
+        assert canonical_spec_digest(spec.outputs) == canonical_spec_digest(twin.outputs)
+
+    def test_constant_spec(self):
+        ctx = Context()
+        digest = canonical_spec_digest({"zero": parse(ctx, "0"), "one": parse(ctx, "1")})
+        assert isinstance(digest, str) and len(digest) == 64
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_identical(self):
+        outputs, words = _majority_outputs(7)
+        decomposition = progressive_decomposition(outputs, input_words=words)
+        rebuilt = deserialize_decomposition(serialize_decomposition(decomposition))
+        assert_bit_identical(decomposition, rebuilt)
+        assert rebuilt.verify()
+        assert rebuilt.describe() == decomposition.describe()
+        assert rebuilt.trace() == decomposition.trace()
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            deserialize_decomposition({"schema": "bogus"})
+
+
+class TestDecompositionCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(7)
+        first, hit_first = decompose_cached(outputs, input_words=words, cache=cache)
+        assert not hit_first
+        assert len(cache) == 1
+        outputs2, words2 = _majority_outputs(7)
+        second, hit_second = decompose_cached(outputs2, input_words=words2, cache=cache)
+        assert hit_second
+        assert_bit_identical(first, second)
+
+    def test_different_pipeline_config_misses(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(7)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        _, hit = decompose_cached(
+            outputs, DecompositionOptions(use_identities=False),
+            input_words=words, cache=cache,
+        )
+        assert not hit
+        assert len(cache) == 2
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        pipeline = Pipeline.from_options(None)
+        key = cache_key(canonical_spec_digest(outputs, words), pipeline.config_key())
+        decompose_cached(outputs, input_words=words, cache=cache)
+        (tmp_path / f"{key}.json").write_text("{truncated")
+        assert cache.load(key) is None
+        _, hit = decompose_cached(outputs, input_words=words, cache=cache)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestBatchOrchestrator:
+    def test_results_match_in_process_runs(self, tmp_path):
+        orchestrator = BatchOrchestrator(tmp_path, processes=2)
+        results = orchestrator.run([
+            BatchJob("maj7", majority_spec, (7,)),
+            BatchJob("counter6", counter_spec, (6,)),
+            BatchJob(
+                "maj7-noident", majority_spec, (7,),
+                options=DecompositionOptions(use_identities=False),
+            ),
+        ])
+        assert set(results) == {"maj7", "counter6", "maj7-noident"}
+        for name, outcome in results.items():
+            assert not outcome.cache_hit, name
+            assert outcome.decomposition.verify(), name
+
+        spec = majority_spec(7)
+        expected = progressive_decomposition(spec.outputs, input_words=spec.input_words)
+        assert_bit_identical(expected, results["maj7"].decomposition)
+
+        reference = reference_decomposition(
+            majority_spec(7).outputs,
+            DecompositionOptions(use_identities=False),
+            input_words=majority_spec(7).input_words,
+        )
+        assert_bit_identical(reference, results["maj7-noident"].decomposition)
+
+    def test_second_run_hits_the_cache(self, tmp_path):
+        jobs = [BatchJob("maj7", majority_spec, (7,))]
+        cold = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        warm = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        assert not cold["maj7"].cache_hit
+        assert warm["maj7"].cache_hit
+        assert_bit_identical(cold["maj7"].decomposition, warm["maj7"].decomposition)
+
+    def test_duplicate_job_names_rejected(self):
+        orchestrator = BatchOrchestrator(processes=1)
+        with pytest.raises(ValueError):
+            orchestrator.run([
+                BatchJob("same", majority_spec, (5,)),
+                BatchJob("same", majority_spec, (7,)),
+            ])
+
+    def test_mapping_spec_builder(self, tmp_path):
+        def build_mapping(width):
+            outputs, _ = _majority_outputs(width)
+            return outputs
+
+        results = BatchOrchestrator(tmp_path, processes=1).run(
+            [BatchJob("plain", build_mapping, (5,))]
+        )
+        assert results["plain"].decomposition.verify()
+
+    def test_warm_cache_beats_sequential_cold_2x(self, tmp_path):
+        """Acceptance check: the orchestrator with a warm cache re-runs
+        Table 1 decomposition rows at least 2x faster than sequential cold
+        runs.  Uses the rows where decomposition dominates the job (spec
+        construction is common to both sides); the observed margin there is
+        ~5-8x, so the 2x threshold keeps the test robust to timer noise."""
+        circuits = [("majority", 15), ("counter", 16), ("adder", 12)]
+        builders = {
+            "majority": majority_spec, "counter": counter_spec, "adder": adder_spec,
+        }
+        jobs = [
+            BatchJob(name, builders[name], (width,)) for name, width in circuits
+        ]
+        orchestrator = BatchOrchestrator(tmp_path, processes=1)
+
+        start = time.perf_counter()
+        cold = orchestrator.run(jobs)  # sequential (1 process), empty cache
+        sequential_cold = time.perf_counter() - start
+        assert not any(outcome.cache_hit for outcome in cold.values())
+
+        start = time.perf_counter()
+        warm = orchestrator.run(jobs)
+        warm_elapsed = time.perf_counter() - start
+        assert all(outcome.cache_hit for outcome in warm.values())
+        for name, _ in circuits:
+            assert_bit_identical(cold[name].decomposition, warm[name].decomposition)
+        assert warm_elapsed * 2 < sequential_cold, (
+            f"warm batch {warm_elapsed:.3f}s vs sequential cold {sequential_cold:.3f}s"
+        )

@@ -1,0 +1,237 @@
+"""Parity property tests: the pass-pipeline engine vs the seed loop.
+
+``reference_loop.reference_decomposition`` is the seed's monolithic Fig. 5
+loop kept verbatim; every test here runs it next to the pipeline engine on
+independently built (but identically declared) contexts and asserts the
+results are bit-identical — outputs, blocks, and the complete per-iteration
+trace — across every ``DecompositionOptions`` ablation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from reference_loop import reference_decomposition
+
+from repro.anf import Anf, Context, majority, variables
+from repro.core import DecompositionOptions, progressive_decomposition
+from repro.engine import (
+    BasisExtractionPass,
+    GroupingPass,
+    IdentityAnalysisPass,
+    LinearDependencePass,
+    NullspaceMergePass,
+    Pipeline,
+    RewritePass,
+    SizeReductionPass,
+)
+
+ABLATIONS = [
+    DecompositionOptions(),
+    DecompositionOptions(use_nullspaces=False),
+    DecompositionOptions(use_identities=False),
+    DecompositionOptions(use_size_reduction=False),
+    DecompositionOptions(use_linear_dependence=False),
+    DecompositionOptions(
+        use_nullspaces=False, use_identities=False,
+        use_size_reduction=False, use_linear_dependence=False,
+    ),
+    DecompositionOptions(k=3),
+    DecompositionOptions(k=5, identity_products=2),
+]
+
+
+def assert_bit_identical(expected, actual):
+    """Field-by-field comparison of two decompositions built in twin contexts.
+
+    The contexts are distinct objects but declare the same variables in the
+    same order, so monomial bitmasks are directly comparable.
+    """
+    assert expected.ctx.names == actual.ctx.names
+    assert expected.primary_inputs == actual.primary_inputs
+    assert set(expected.outputs) == set(actual.outputs)
+    for port in expected.outputs:
+        assert expected.outputs[port].terms == actual.outputs[port].terms, port
+    assert len(expected.blocks) == len(actual.blocks)
+    for left, right in zip(expected.blocks, actual.blocks):
+        assert (left.name, left.level, left.group) == (right.name, right.level, right.group)
+        assert left.definition.terms == right.definition.terms, left.name
+    assert len(expected.iterations) == len(actual.iterations)
+    for left, right in zip(expected.iterations, actual.iterations):
+        assert left.index == right.index
+        assert left.group == right.group
+        assert left.block_names == right.block_names
+        assert [e.terms for e in left.basis_definitions] == [
+            e.terms for e in right.basis_definitions
+        ]
+        assert [e.terms for e in left.substitutions] == [
+            e.terms for e in right.substitutions
+        ]
+        assert [
+            (identity.kind, identity.description, identity.expr.terms)
+            for identity in left.identities_found
+        ] == [
+            (identity.kind, identity.description, identity.expr.terms)
+            for identity in right.identities_found
+        ]
+        assert {
+            name: expr.terms for name, expr in left.removed_blocks.items()
+        } == {name: expr.terms for name, expr in right.removed_blocks.items()}
+        assert (left.size_before, left.size_after) == (right.size_before, right.size_after)
+
+
+def _twin_majority(width):
+    """The same majority spec built twice in independent contexts."""
+    specs = []
+    for _ in range(2):
+        ctx = Context()
+        bits = ctx.bus("a", width)
+        specs.append(({"maj": majority(variables(ctx, bits), ctx)}, [bits]))
+    return specs
+
+
+def _twin_adder(width):
+    from repro.benchcircuits import adder_spec
+
+    specs = []
+    for _ in range(2):
+        spec = adder_spec(width)
+        specs.append((spec.outputs, spec.input_words))
+    return specs
+
+
+class TestAblationParity:
+    @pytest.mark.parametrize("options", ABLATIONS, ids=lambda o: repr(o))
+    def test_majority7_parity(self, options):
+        (ref_outputs, ref_words), (new_outputs, new_words) = _twin_majority(7)
+        expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
+        actual = progressive_decomposition(new_outputs, options, input_words=new_words)
+        assert_bit_identical(expected, actual)
+        assert actual.verify()
+
+    @pytest.mark.parametrize("options", ABLATIONS[:4], ids=lambda o: repr(o))
+    def test_multi_output_adder_parity(self, options):
+        (ref_outputs, ref_words), (new_outputs, new_words) = _twin_adder(4)
+        expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
+        actual = progressive_decomposition(new_outputs, options, input_words=new_words)
+        assert_bit_identical(expected, actual)
+
+
+class TestRandomisedParity:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=5), max_size=4).map(frozenset),
+            min_size=1, max_size=10,
+        ),
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=5), max_size=3).map(frozenset),
+            min_size=0, max_size=6,
+        ),
+        st.sampled_from(ABLATIONS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_specs_parity(self, subsets_f, subsets_g, options):
+        results = []
+        for _ in range(2):
+            ctx = Context(["v0", "v1", "v2", "v3", "v4", "v5"])
+
+            def build(subsets):
+                terms = []
+                for subset in subsets:
+                    mask = 0
+                    for i in subset:
+                        mask |= 1 << i
+                    terms.append(mask)
+                return Anf(ctx, terms)
+
+            outputs = {"f": build(subsets_f)}
+            if subsets_g:
+                outputs["g"] = build(subsets_g)
+            results.append((ctx, outputs))
+        (_, ref_outputs), (_, new_outputs) = results
+        # Some degenerate (spec, ablation) combinations legitimately stall
+        # (e.g. every optimisation disabled); parity then means both
+        # implementations fail identically.
+        try:
+            expected = reference_decomposition(ref_outputs, options)
+        except RuntimeError as reference_error:
+            with pytest.raises(RuntimeError) as caught:
+                progressive_decomposition(new_outputs, options)
+            assert str(caught.value) == str(reference_error)
+            return
+        actual = progressive_decomposition(new_outputs, options)
+        assert_bit_identical(expected, actual)
+        assert actual.verify()
+
+
+class TestPipelineAssembly:
+    def test_from_options_matches_hand_assembly(self):
+        pipeline = Pipeline.from_options(DecompositionOptions())
+        assert [type(p) for p in pipeline.passes] == [
+            GroupingPass,
+            BasisExtractionPass,
+            NullspaceMergePass,
+            LinearDependencePass,
+            SizeReductionPass,
+            IdentityAnalysisPass,
+            RewritePass,
+        ]
+
+    def test_flags_become_pass_presence(self):
+        pipeline = Pipeline.from_options(
+            DecompositionOptions(use_nullspaces=False, use_size_reduction=False)
+        )
+        types = {type(p) for p in pipeline.passes}
+        assert NullspaceMergePass not in types
+        assert SizeReductionPass not in types
+        assert LinearDependencePass in types
+
+    def test_to_options_round_trips(self):
+        for options in ABLATIONS:
+            assert Pipeline.from_options(options).to_options() == options
+
+    def test_config_key_distinguishes_configurations(self):
+        keys = {Pipeline.from_options(options).config_key() for options in ABLATIONS}
+        assert len(keys) == len(ABLATIONS)
+        # ... and is stable for equal configurations.
+        assert (
+            Pipeline.from_options(DecompositionOptions()).config_key()
+            == Pipeline.from_options(DecompositionOptions()).config_key()
+        )
+
+    def test_pipeline_requires_core_passes(self):
+        with pytest.raises(ValueError):
+            Pipeline([GroupingPass(), BasisExtractionPass()])
+        with pytest.raises(ValueError):
+            Pipeline([GroupingPass(), RewritePass(), BasisExtractionPass()])
+
+    def test_pipeline_rejects_mismatched_block_prefixes(self):
+        with pytest.raises(ValueError):
+            Pipeline([
+                GroupingPass(),
+                BasisExtractionPass(),
+                IdentityAnalysisPass(block_prefix="t"),
+                RewritePass(block_prefix="u"),
+            ])
+
+    def test_subclassed_passes_are_recognised(self):
+        class TweakedGrouping(GroupingPass):
+            pass
+
+        pipeline = Pipeline([TweakedGrouping(3), BasisExtractionPass(), RewritePass()])
+        options = pipeline.to_options()
+        assert options.k == 3
+        assert not options.use_identities
+
+    def test_hand_assembled_ablation_runs(self):
+        ctx = Context()
+        bits = ctx.bus("a", 7)
+        spec = {"maj": majority(variables(ctx, bits), ctx)}
+        pipeline = Pipeline([
+            GroupingPass(4),
+            BasisExtractionPass(),
+            LinearDependencePass(),
+            RewritePass(),
+        ])
+        decomposition = pipeline.run(spec, input_words=[bits])
+        assert decomposition.verify()
+        assert decomposition.options == pipeline.to_options()
