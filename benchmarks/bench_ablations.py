@@ -9,8 +9,6 @@ objects, not plumbed through option flags — and these benchmarks measure
 what each ingredient buys on the circuits where the paper says it matters.
 """
 
-import pytest
-
 from repro.benchcircuits import majority_spec
 from repro.core import decomposition_to_netlist
 from repro.engine import (

@@ -1,7 +1,5 @@
 """Benchmarks regenerating the paper's figures (F1/F2, F3/F4, F6 in DESIGN.md)."""
 
-import pytest
-
 from repro.eval import figure1_vs_figure2, figure4_online_hierarchy, figure6_majority7_trace
 
 

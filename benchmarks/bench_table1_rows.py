@@ -6,8 +6,6 @@ ordering the paper reports).  Reduced widths keep the harness fast; the
 full-width regeneration lives in ``examples/reproduce_table1.py``.
 """
 
-import pytest
-
 from repro.eval import (
     row_adder,
     row_comparator,

@@ -12,7 +12,7 @@ Run with::
 import sys
 
 from repro.benchcircuits import lzd_spec, lzd_sop, oklobdzija_lzd_netlist
-from repro.circuit import check_netlist_against_anf, sop_to_netlist, structure_stats
+from repro.circuit import sop_to_netlist, structure_stats
 from repro.core import decomposition_to_netlist, hierarchy_stats, progressive_decomposition
 from repro.eval import run_baseline_flow, run_progressive_flow, run_structural_flow
 

@@ -1,5 +1,9 @@
-"""Setuptools shim (kept so editable installs work in offline environments
-that lack the ``wheel`` package required by PEP 660 editable wheels)."""
+"""Legacy setuptools shim — all metadata lives in ``pyproject.toml``.
+
+Kept because PEP 660 editable installs (``pip install -e .``) need the
+``wheel`` package, which offline containers may lack; there,
+``python setup.py develop`` (or plain ``PYTHONPATH=src``) still works.
+"""
 
 from setuptools import setup
 

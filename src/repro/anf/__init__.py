@@ -5,8 +5,10 @@ XOR-of-products expressions (:class:`Anf`), SOP cube lists, truth tables,
 symbolic bit-vectors (:class:`Word`) and a small infix parser.
 """
 
+from .backend import get_backend, set_backend, using_backend
 from .bitset import BitsetKernel, kernel_for_exprs, kernel_for_support, truth_table
 from .canonical import canonical_spec_digest, canonical_spec_payload
+from .termmatrix import TermMatrix
 from .builders import (
     and_all,
     elementary_symmetric,
@@ -35,6 +37,7 @@ from .word import Word, carry_save_reduce, popcount_word
 
 __all__ = [
     "Anf",
+    "TermMatrix",
     "BitsetKernel",
     "Context",
     "ContextError",
@@ -56,6 +59,7 @@ __all__ = [
     "equivalent",
     "false",
     "full_adder",
+    "get_backend",
     "half_adder",
     "implies",
     "kernel_for_exprs",
@@ -67,9 +71,11 @@ __all__ = [
     "parity",
     "parse",
     "popcount_word",
+    "set_backend",
     "threshold",
     "true",
     "truth_table",
+    "using_backend",
     "var",
     "variables",
     "xor_all",

@@ -25,7 +25,7 @@ call sites.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .context import Context
 from .expression import Anf

@@ -24,14 +24,18 @@ Operators:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping
 
-from .context import Context, ContextError
+from .context import Context
+from .termmatrix import TERM_LIMIT, TermMatrix, xor_sorted
 
 
 def _popcount(mask: int) -> int:
     return mask.bit_count()
+
+
+#: Cached marker for expressions whose terms do not fit a 64-bit matrix row.
+_UNPACKABLE = object()
 
 
 class Anf:
@@ -41,9 +45,20 @@ class Anf:
     (:attr:`support_mask`, :attr:`degree`, :attr:`literal_count`) are computed
     lazily and cached; the expression itself is immutable so the caches never
     invalidate.
+
+    The canonical monomial set has two interchangeable storages: a frozenset
+    (``_terms``) and a packed :class:`~repro.anf.termmatrix.TermMatrix`
+    (``_matrix``).  At least one is always present; the other is materialised
+    on demand and cached.  Expressions produced by the packed backend carry
+    only the matrix, so the giant intermediates of the decomposition loop
+    never pay for per-term frozenset construction unless a consumer asks for
+    set semantics.
     """
 
-    __slots__ = ("_ctx", "_terms", "_hash", "_support_mask", "_degree", "_literal_count")
+    __slots__ = (
+        "_ctx", "_terms", "_matrix", "_hash",
+        "_support_mask", "_degree", "_literal_count",
+    )
 
     def __init__(self, ctx: Context, terms: Iterable[int] = ()) -> None:
         """Build an expression from monomial bitmasks.
@@ -62,7 +77,8 @@ class Anf:
             else:
                 collected.add(mask)
         self._ctx = ctx
-        self._terms: FrozenSet[int] = frozenset(collected)
+        self._terms: FrozenSet[int] | None = frozenset(collected)
+        self._matrix = None
         self._hash: int | None = None
         self._support_mask: int | None = None
         self._degree: int | None = None
@@ -77,6 +93,20 @@ class Anf:
         expr = object.__new__(cls)
         expr._ctx = ctx
         expr._terms = terms
+        expr._matrix = None
+        expr._hash = None
+        expr._support_mask = None
+        expr._degree = None
+        expr._literal_count = None
+        return expr
+
+    @classmethod
+    def _from_matrix(cls, ctx: Context, matrix: TermMatrix) -> "Anf":
+        """Internal constructor from a canonical packed term matrix."""
+        expr = object.__new__(cls)
+        expr._ctx = ctx
+        expr._terms = None
+        expr._matrix = matrix
         expr._hash = None
         expr._support_mask = None
         expr._degree = None
@@ -133,21 +163,67 @@ class Anf:
 
     @property
     def terms(self) -> FrozenSet[int]:
-        """The monomial bitmasks (frozen, canonical)."""
-        return self._terms
+        """The monomial bitmasks (frozen, canonical; materialised on demand)."""
+        terms = self._terms
+        if terms is None:
+            terms = frozenset(self._matrix.to_list())
+            self._terms = terms
+        return terms
+
+    def term_matrix(self, build: bool = False) -> TermMatrix | None:
+        """The packed term matrix, or ``None``.
+
+        With ``build=False`` only an already-attached matrix is returned;
+        ``build=True`` packs the frozenset (one C sort) unless some term does
+        not fit a 64-bit row, in which case the failure is cached.
+        """
+        matrix = self._matrix
+        if matrix is not None:
+            return matrix if matrix is not _UNPACKABLE else None
+        if not build:
+            return None
+        built = TermMatrix.from_terms(self._terms)
+        self._matrix = built if built is not None else _UNPACKABLE
+        return built
+
+    def term_list(self) -> list[int]:
+        """The monomials as a plain list (no frozenset materialisation)."""
+        terms = self._terms
+        if terms is None:
+            return self._matrix.to_list()
+        return list(terms)
+
+    def term_key(self):
+        """Canonical hashable key for term-set equality across representations.
+
+        Any set that packs gets the matrix's canonical bytes; a set that
+        cannot pack (a >64-bit term) can never equal one that does, so the
+        frozenset fallback preserves the equality relation.
+        """
+        matrix = self.term_matrix(build=True)
+        if matrix is not None:
+            return matrix.key()
+        return self.terms
 
     @property
     def num_terms(self) -> int:
         """Number of monomials in the Reed-Muller form."""
-        return len(self._terms)
+        terms = self._terms
+        if terms is None:
+            return self._matrix.count
+        return len(terms)
 
     @property
     def is_zero(self) -> bool:
-        return not self._terms
+        return self.num_terms == 0
 
     @property
     def is_one(self) -> bool:
-        return self._terms == frozenset({0})
+        terms = self._terms
+        if terms is None:
+            matrix = self._matrix
+            return matrix.count == 1 and matrix.words[0] == 0
+        return terms == frozenset({0})
 
     @property
     def is_constant(self) -> bool:
@@ -156,9 +232,9 @@ class Anf:
     @property
     def is_literal(self) -> bool:
         """True when the expression is exactly one variable."""
-        if len(self._terms) != 1:
+        if self.num_terms != 1:
             return False
-        (mask,) = self._terms
+        (mask,) = self.term_list()
         return mask != 0 and (mask & (mask - 1)) == 0
 
     @property
@@ -166,7 +242,7 @@ class Anf:
         """The variable name when :attr:`is_literal`, otherwise an error."""
         if not self.is_literal:
             raise ValueError("expression is not a single literal")
-        (mask,) = self._terms
+        (mask,) = self.term_list()
         return self._ctx.name(mask.bit_length() - 1)
 
     @property
@@ -174,9 +250,13 @@ class Anf:
         """Bitmask of every variable appearing in the expression (cached)."""
         mask = self._support_mask
         if mask is None:
-            mask = 0
-            for term in self._terms:
-                mask |= term
+            matrix = self._matrix
+            if matrix is not None and matrix is not _UNPACKABLE:
+                mask = matrix.support_mask()
+            else:
+                mask = 0
+                for term in self._terms:
+                    mask |= term
             self._support_mask = mask
         return mask
 
@@ -190,19 +270,27 @@ class Anf:
         """Largest monomial size (0 for constants, cached)."""
         degree = self._degree
         if degree is None:
-            if not self._terms:
+            if self.num_terms == 0:
                 degree = 0
             else:
-                degree = max(mask.bit_count() for mask in self._terms)
+                degree = max(mask.bit_count() for mask in self.term_list())
             self._degree = degree
         return degree
 
     @property
     def literal_count(self) -> int:
-        """Total number of literal occurrences (the paper's size metric, cached)."""
+        """Total number of literal occurrences (the paper's size metric, cached).
+
+        Matrix-backed expressions answer with one C popcount of the packed
+        view instead of a per-term sum.
+        """
         count = self._literal_count
         if count is None:
-            count = sum(mask.bit_count() for mask in self._terms)
+            matrix = self._matrix
+            if matrix is not None and matrix is not _UNPACKABLE:
+                count = matrix.literal_count()
+            else:
+                count = sum(mask.bit_count() for mask in self._terms)
             self._literal_count = count
         return count
 
@@ -211,7 +299,7 @@ class Anf:
         if name not in self._ctx:
             return False
         bit = 1 << self._ctx.index(name)
-        return any(term & bit for term in self._terms)
+        return bool(self.support_mask & bit)
 
     # ------------------------------------------------------------------
     # Ring operations
@@ -223,7 +311,17 @@ class Anf:
 
     def __xor__(self, other: "Anf") -> "Anf":
         self._check(other)
-        return Anf._raw(self._ctx, self._terms.symmetric_difference(other._terms))
+        left, right = self._terms, other._terms
+        if left is None or right is None:
+            # At least one operand is matrix-only: keep the result packed so
+            # the pipeline's giant intermediates never round-trip through
+            # frozensets (the merge loops XOR matrix-backed pair seconds).
+            left_matrix = self.term_matrix(build=True)
+            right_matrix = other.term_matrix(build=True)
+            if left_matrix is not None and right_matrix is not None:
+                return Anf._from_matrix(self._ctx, xor_sorted(left_matrix, right_matrix))
+            left, right = self.terms, other.terms
+        return Anf._raw(self._ctx, left.symmetric_difference(right))
 
     def __and__(self, other: "Anf") -> "Anf":
         self._check(other)
@@ -238,12 +336,24 @@ class Anf:
             # (each factor is recovered by masking with its own support), so
             # no mod-2 cancellation can occur and the pairwise unions are the
             # product's canonical term set as-is.
+            single, many = self, other
+            if many.num_terms == 1:
+                single, many = other, single
+            if single.num_terms == 1:
+                # A fresh-variable (tag/block) multiply: OR one mask into
+                # every term.  Keep it word-parallel when the big operand is
+                # matrix-backed — this is the hot product of the combine and
+                # rewrite stages.
+                matrix = many.term_matrix()
+                (mask,) = single.term_list()
+                if matrix is not None and mask < TERM_LIMIT:
+                    return Anf._from_matrix(self._ctx, matrix.or_all(mask))
             return Anf._raw(
                 self._ctx,
-                frozenset(left | right for left in self._terms for right in other._terms),
+                frozenset(left | right for left in self.terms for right in other.terms),
             )
         # Multiply the smaller operand into the larger one.
-        small, large = (self._terms, other._terms)
+        small, large = (self.terms, other.terms)
         if len(small) > len(large):
             small, large = large, small
         acc: set[int] = set()
@@ -266,13 +376,20 @@ class Anf:
         operands go straight to :meth:`__and__`.
         """
         self._check(other)
-        if len(self._terms) * len(other._terms) < 4:
+        if self.num_terms * other.num_terms < 4:
+            return self & other
+        if (self.num_terms == 1 or other.num_terms == 1) and (
+            self.support_mask & other.support_mask == 0
+        ):
+            # Single-variable disjoint products run word-parallel in
+            # :meth:`__and__`; skipping the memo keeps giant matrix-backed
+            # operands from materialising frozensets for the memo key.
             return self & other
         memo = self._ctx._product_memo
         # Products commute; normalise the key so (a, b) and (b, a) share one
         # memo slot (hash ties keep both orders as distinct keys, which is
         # merely a missed dedup, never a wrong answer).
-        left, right = self._terms, other._terms
+        left, right = self.terms, other.terms
         if hash(left) > hash(right):
             left, right = right, left
         key = (left, right)
@@ -289,7 +406,7 @@ class Anf:
         return self ^ other ^ self.cached_and(other)
 
     def __invert__(self) -> "Anf":
-        return Anf._raw(self._ctx, self._terms.symmetric_difference({0}))
+        return Anf._raw(self._ctx, self.terms.symmetric_difference({0}))
 
     def __bool__(self) -> bool:
         return not self.is_zero
@@ -300,11 +417,29 @@ class Anf:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Anf):
             return NotImplemented
-        return self._ctx is other._ctx and self._terms == other._terms
+        if self._ctx is not other._ctx:
+            return False
+        left, right = self._terms, other._terms
+        if left is not None and right is not None:
+            return left == right
+        # At least one side is matrix-only.  Matrices are canonical, so two
+        # packed sides compare by rows; for a mixed pair try the cheap
+        # invariants before materialising a giant frozenset.
+        if self.num_terms != other.num_terms:
+            return False
+        left_matrix = self.term_matrix()
+        right_matrix = other.term_matrix()
+        if left_matrix is not None and right_matrix is not None:
+            return left_matrix.words == right_matrix.words
+        if self.support_mask != other.support_mask:
+            return False
+        if self.literal_count != other.literal_count:
+            return False
+        return self.terms == other.terms
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash((id(self._ctx), self._terms))
+            self._hash = hash((id(self._ctx), self.terms))
         return self._hash
 
     # ------------------------------------------------------------------
@@ -330,18 +465,26 @@ class Anf:
             names = self._ctx.names_of(missing)
             raise ValueError(f"assignment is missing variables: {', '.join(names)}")
         result = 0
-        for term in self._terms:
+        for term in self._term_iterable():
             if term & ones_mask == term:
                 result ^= 1
         return result
 
     def evaluate_mask(self, ones_mask: int) -> int:
         """Evaluate with variable values given as a bitmask of true variables."""
+        # Iterate whichever storage is live: truth-table loops call this once
+        # per assignment, so a per-call to_list() materialisation would turn
+        # O(2^n) evaluations into O(2^n * terms) allocations.
         result = 0
-        for term in self._terms:
+        for term in self._term_iterable():
             if term & ones_mask == term:
                 result ^= 1
         return result
+
+    def _term_iterable(self):
+        """The live storage's terms, with no materialisation or copy."""
+        terms = self._terms
+        return terms if terms is not None else self._matrix.words
 
     def substitute(self, mapping: Mapping[str, "Anf"]) -> "Anf":
         """Replace variables by expressions (simultaneously).
@@ -385,7 +528,7 @@ class Anf:
             return result
 
         total = Anf.zero(self._ctx)
-        for term in self._terms:
+        for term in self.term_list():
             total = total ^ substituted_monomial(term)
         return total
 
@@ -396,14 +539,14 @@ class Anf:
         bit = 1 << self._ctx.index(name)
         acc: set[int] = set()
         if value:
-            for term in self._terms:
+            for term in self.term_list():
                 reduced = term & ~bit
                 if reduced in acc:
                     acc.discard(reduced)
                 else:
                     acc.add(reduced)
         else:
-            for term in self._terms:
+            for term in self.term_list():
                 if term & bit:
                     continue
                 if term in acc:
@@ -428,34 +571,20 @@ class Anf:
         group variable at all.  The expression equals
         ``XOR_g (g & bucket[g]) ^ remainder``.
         """
-        # The terms are distinct and (group part, rest part) determines the
-        # term, so no mod-2 cancellation can occur while bucketing — plain
-        # list appends suffice and every bucket is non-empty by construction.
-        buckets: defaultdict[int, list[int]] = defaultdict(list)
-        remainder: list[int] = []
-        remainder_append = remainder.append
-        for term in self._terms:
-            group_part = term & group_mask
-            if group_part == 0:
-                remainder_append(term)
-            else:
-                buckets[group_part].append(term ^ group_part)
-        result = {
-            group_part: Anf._raw(self._ctx, frozenset(rest))
-            for group_part, rest in buckets.items()
-        }
-        return result, Anf._raw(self._ctx, frozenset(remainder))
+        from .backend import get_backend
+
+        return get_backend().split_by_group(self, group_mask)
 
     def restricted_to(self, mask: int) -> bool:
         """True when every monomial only uses variables inside ``mask``."""
-        return all(term & ~mask == 0 for term in self._terms)
+        return self.support_mask & ~mask == 0
 
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def sorted_terms(self) -> list[int]:
         """Monomials sorted by (size, variable indices) for stable printing."""
-        return sorted(self._terms, key=lambda mask: (_popcount(mask), mask))
+        return sorted(self.term_list(), key=lambda mask: (_popcount(mask), mask))
 
     def to_str(self, xor_symbol: str = " ^ ", and_symbol: str = "*") -> str:
         """Readable rendering, e.g. ``a ^ b*c ^ 1``."""
@@ -479,10 +608,10 @@ class Anf:
         return f"Anf({text})"
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._terms)
+        return iter(self.terms)
 
     def __len__(self) -> int:
-        return len(self._terms)
+        return self.num_terms
 
 
 def anf_product(exprs: Iterable[Anf], ctx: Context) -> Anf:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from .builders import full_adder, half_adder, mux
+from .builders import full_adder, mux
 from .context import Context
 from .expression import Anf
 

@@ -21,7 +21,7 @@ from typing import Dict, List
 
 from ..anf.context import Context
 from ..anf.expression import Anf
-from ..anf.word import Word, popcount_word
+from ..anf.word import popcount_word
 from ..circuit import gates
 from ..circuit.netlist import Netlist
 

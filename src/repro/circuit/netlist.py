@@ -8,8 +8,8 @@ substrate (technology mapping, timing, area).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 from . import gates
 from .gates import GateError, evaluate_op, validate_gate

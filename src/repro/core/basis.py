@@ -9,9 +9,10 @@ from the pair seconds (see :mod:`repro.core.rewrite`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
+from ..anf.backend import get_backend
 from ..anf.context import Context
 from ..anf.expression import Anf
 from .nullspace import NullSpaceTable
@@ -46,16 +47,28 @@ def tag_name_for(port: str) -> str:
 
 
 def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Dict[str, str]]:
-    """Build ``X = XOR_port K_port · P_port`` with one fresh tag per port."""
-    combined = Anf.zero(ctx)
+    """Build ``X = XOR_port K_port · P_port`` with one fresh tag per port.
+
+    The packed backend performs the whole combination word-parallel: each tag
+    product ORs one fresh bit into every term of a port's matrix, and the
+    per-port results are pairwise disjoint (each is marked by its own tag
+    bit), so their XOR is a concatenation.
+    """
     tag_of_port: Dict[str, str] = {}
+    items: list[tuple[int, Anf]] = []
     for port, expr in outputs.items():
         ctx.require_same(expr.ctx)
         tag = tag_name_for(port)
         tag_of_port[port] = tag
+        items.append((1 << ctx.add_var(tag), expr))
+    fast = get_backend().combine_tagged(items, ctx)
+    if fast is not None:
+        return fast, tag_of_port
+    combined = Anf.zero(ctx)
+    for port, expr in outputs.items():
         # The tag products recur (findGroup and findBasis both combine the
         # same outputs each iteration); the context memo makes the repeat free.
-        combined = combined ^ Anf.var(ctx, tag).cached_and(expr)
+        combined = combined ^ Anf.var(ctx, tag_of_port[port]).cached_and(expr)
     return combined, tag_of_port
 
 

@@ -69,10 +69,10 @@ def score_group(
     the estimate: null-space generators never steer the equal-part merge.
     """
     combined, _ = combine_with_tags(outputs, ctx)
-    return _score_combined(tuple(combined.terms), ctx.mask_of(group))
+    return _score_combined(combined.term_list(), ctx.mask_of(group))
 
 
-def _score_combined(terms: tuple, group_mask: int) -> int:
+def _score_combined(terms: Sequence[int], group_mask: int) -> int:
     """Score one candidate group against a pre-built tagged combination.
 
     This replays ``initial_pairs`` + ``merge_equal_parts`` on raw term sets
@@ -136,8 +136,12 @@ def _cooccurrence_group(outputs: Mapping[str, Anf], candidates: Sequence[str], c
         name_of_bit[bit] = name
     cooccur: Dict[tuple[str, str], int] = {}
     occurrence: Dict[str, int] = {name: 0 for name in candidates}
+    # The seed pair below breaks score ties by ``cooccur`` insertion order,
+    # which inherits the term iteration order.  Terms are therefore walked in
+    # sorted order so the choice is canonical — identical for frozenset- and
+    # matrix-backed expressions regardless of construction history.
     for expr in outputs.values():
-        for term in expr.terms:
+        for term in sorted(expr.term_list()):
             present_mask = term & candidate_mask
             if not present_mask:
                 continue
@@ -203,8 +207,11 @@ def find_group(
     from math import comb
 
     if comb(len(candidates), size) <= MAX_EXHAUSTIVE_CANDIDATES:
+        # One shared term-matrix view of the combined expression scores every
+        # candidate subset; the packed backend builds it word-parallel (tag
+        # OR + concatenation) instead of symbolic products per call.
         combined, _ = combine_with_tags(outputs, ctx)
-        combined_terms = tuple(combined.terms)
+        combined_terms = combined.term_list()
         best_group: List[str] | None = None
         best_score = None
         for subset in combinations(candidates, size):

@@ -32,16 +32,21 @@ class _DependencyFinder:
 
     def __init__(self) -> None:
         self._indexer = MonomialIndexer()
-        self._vectors: Dict[Anf, int] = {}
+        self._vectors: Dict[object, int] = {}
 
     def find(self, exprs: Sequence[Anf]) -> tuple[int, list[int]] | None:
         vectors = []
         memo = self._vectors
         for expr in exprs:
-            vector = memo.get(expr)
+            # Keyed by the canonical term key rather than the Anf itself:
+            # hashing a matrix-backed expression would materialise its
+            # frozenset, while the packed key is O(terms/8) and equal exactly
+            # when the term sets are.
+            key = expr.term_key()
+            vector = memo.get(key)
             if vector is None:
                 vector = self._indexer.vector_of(expr)
-                memo[expr] = vector
+                memo[key] = vector
             vectors.append(vector)
         dependency = find_linear_dependency(vectors)
         if dependency is None:

@@ -10,9 +10,10 @@ until the set of first elements is the candidate basis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Iterator, List
+from dataclasses import dataclass, field
+from typing import Iterator, List
 
+from ..anf.backend import get_backend
 from ..anf.expression import Anf
 from .nullspace import NullSpaceTable, ideal_product_generator, split_over_ideals
 
@@ -100,14 +101,19 @@ def merge_equal_parts(pair_list: PairList) -> PairList:
     (paper section 5.2, the identity-free merge).
     """
     pairs = list(pair_list.pairs)
+    # The seconds carry the giant term sets; the backend supplies an O(n/8)
+    # canonical key (packed matrix bytes) instead of per-term frozenset
+    # hashing.  Keys are equal exactly when the term sets are, so the merge
+    # decisions — and hence the results — are backend-independent.
+    second_key = get_backend().pair_key
     changed = True
     while changed:
         changed = False
         # Merge pairs with equal second elements.
-        by_second: dict[frozenset[int], Pair] = {}
+        by_second: dict = {}
         merged: list[Pair] = []
         for pair in pairs:
-            key = pair.second.terms
+            key = second_key(pair.second)
             existing = by_second.get(key)
             if existing is None:
                 by_second[key] = pair

@@ -5,13 +5,22 @@ either a fresh block variable, an existing literal (when the basis element is
 already a single variable), or an expression over other block variables (when
 an identity eliminated the block).  The per-output expressions are recovered
 from the tagged pair list by extracting each output's tag component.
+
+The per-term work here — splitting every pair second into tag components and
+accumulating ``replacement · γ`` products per port — runs through the active
+term backend.  Under the packed backend the common shape (every replacement a
+single variable) is fully word-parallel: tag components are bit-strips of the
+term matrix, each product ORs one marker bit into a component, and the
+accumulated XOR is a concatenation because every product is uniquely marked
+by its replacement variable (the components themselves never mention any
+replacement variable, so the marked term sets are pairwise disjoint).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Sequence
 
+from ..anf.backend import get_backend
 from ..anf.context import Context
 from ..anf.expression import Anf
 from .basis import BasisExtraction
@@ -22,30 +31,8 @@ def extract_tag_component(expr: Anf, tag_name: str, ctx: Context) -> Anf:
     if tag_name not in ctx:
         return Anf.zero(ctx)
     bit = 1 << ctx.index(tag_name)
-    # Distinct monomials sharing the tag bit stay distinct once it is
-    # stripped, so the term set is already canonical.
-    terms = frozenset(term & ~bit for term in expr.terms if term & bit)
-    return Anf._raw(ctx, terms)
-
-
-def _scatter_by_tags(expr: Anf, tags_mask: int) -> Dict[int, list]:
-    """Split an expression into per-tag components in a single traversal.
-
-    Returns ``{tag_bit: terms}`` where ``terms`` is the (canonical) monomial
-    list of :func:`extract_tag_component` for that tag — each monomial is
-    credited to every tag bit it contains, with that bit stripped.  Distinct
-    terms stay distinct after stripping a shared bit, so no cancellation is
-    possible and every bucket is non-empty.  One pass over the terms replaces
-    one full scan per (port, pair) combination.
-    """
-    buckets: Dict[int, list] = defaultdict(list)
-    for term in expr.terms:
-        tags = term & tags_mask
-        while tags:
-            bit = tags & -tags
-            buckets[bit].append(term & ~bit)
-            tags ^= bit
-    return buckets
+    component = get_backend().scatter_by_tags(expr, bit).get(bit)
+    return component if component is not None else Anf.zero(ctx)
 
 
 def rewrite_outputs(
@@ -58,11 +45,12 @@ def rewrite_outputs(
     The invariant is exact: substituting each block variable by its definition
     in the result reproduces the original expression (verified by
     ``Decomposition.verify``).  Each pair's second element is decomposed into
-    all of its per-port tag components in one traversal, and the
-    ``replacement · γ`` products go through the context's product memo.
+    all of its per-port tag components in one traversal.
     """
-    if len(substitutions) != len(extraction.pair_list.pairs):
+    pairs = extraction.pair_list.pairs
+    if len(substitutions) != len(pairs):
         raise ValueError("one substitution per pair is required")
+    backend = get_backend()
     tag_bit_of_port: Dict[str, int] = {}
     tags_mask = 0
     for port in extraction.ports:
@@ -71,26 +59,62 @@ def rewrite_outputs(
             bit = 1 << ctx.index(tag)
             tag_bit_of_port[port] = bit
             tags_mask |= bit
-    outputs: Dict[str, Anf] = {
-        port: Anf.zero(ctx) for port in extraction.ports
-    }
+
     remainder = extraction.pair_list.remainder
-    if remainder is not None:
-        remainder_buckets = _scatter_by_tags(remainder, tags_mask)
-        for port, bit in tag_bit_of_port.items():
-            terms = remainder_buckets.get(bit)
-            if terms:
-                outputs[port] = Anf._raw(ctx, frozenset(terms))
-    for pair, replacement in zip(extraction.pair_list.pairs, substitutions):
-        buckets = _scatter_by_tags(pair.second, tags_mask)
-        if not buckets:
+    remainder_parts = (
+        backend.scatter_by_tags(remainder, tags_mask) if remainder is not None else {}
+    )
+    pair_parts = [backend.scatter_by_tags(pair.second, tags_mask) for pair in pairs]
+
+    # The accumulated XOR per port degenerates to a disjoint union when every
+    # replacement is a single variable that no component mentions: each
+    # product's terms then all contain their own marker bit, the markers are
+    # pairwise distinct, and the remainder component contains none of them.
+    markers = 0
+    disjoint = True
+    for replacement, parts in zip(substitutions, pair_parts):
+        if not parts:
             continue
-        for port, bit in tag_bit_of_port.items():
-            terms = buckets.get(bit)
-            if not terms:
-                continue
-            gamma = Anf._raw(ctx, frozenset(terms))
-            outputs[port] = outputs[port] ^ replacement.cached_and(gamma)
+        if not replacement.is_literal:
+            disjoint = False
+            break
+        (marker,) = replacement.term_list()
+        if marker & markers:
+            disjoint = False
+            break
+        markers |= marker
+    if disjoint and markers:
+        for pair, parts in zip(pairs, pair_parts):
+            if parts and pair.second.support_mask & markers:
+                disjoint = False
+                break
+        if disjoint and remainder is not None and remainder.support_mask & markers:
+            disjoint = False
+
+    outputs: Dict[str, Anf] = {}
+    for port, bit in tag_bit_of_port.items():
+        if disjoint:
+            pieces: List[Anf] = []
+            component = remainder_parts.get(bit)
+            if component is not None and not component.is_zero:
+                pieces.append(component)
+            for replacement, parts in zip(substitutions, pair_parts):
+                component = parts.get(bit)
+                if component is None or component.is_zero:
+                    continue
+                pieces.append(replacement.cached_and(component))
+            outputs[port] = backend.disjoint_xor(pieces, ctx)
+        else:
+            total = remainder_parts.get(bit) or Anf.zero(ctx)
+            for replacement, parts in zip(substitutions, pair_parts):
+                component = parts.get(bit)
+                if component is None or component.is_zero:
+                    continue
+                total = total ^ replacement.cached_and(component)
+            outputs[port] = total
+    for port in extraction.ports:
+        if port not in outputs:
+            outputs[port] = Anf.zero(ctx)
     return outputs
 
 

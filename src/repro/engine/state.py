@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..anf.backend import get_backend
 from ..anf.context import Context
 from ..anf.expression import Anf
 from ..core.basis import BasisExtraction
@@ -80,6 +81,7 @@ class EngineState:
         for expr in outputs.values():
             ctx.require_same(expr.ctx)
         current = dict(outputs)
+        get_backend().prepare_outputs(current)
         primary_inputs = support_of_outputs(current, ctx)
         if input_words is None:
             words = [list(primary_inputs)]

@@ -48,4 +48,7 @@ __all__ = [
     "row_lzd",
     "row_majority",
     "row_three_input_adder",
+    "run_baseline_flow",
+    "run_progressive_flow",
+    "run_structural_flow",
 ]

@@ -14,17 +14,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from ..benchcircuits import lzd_spec, majority_spec, oklobdzija_lzd_netlist
-from ..circuit.convert import anf_to_netlist, sop_to_netlist
+from ..circuit.convert import sop_to_netlist
 from ..circuit.stats import StructureStats, structure_stats
 from ..core.decompose import Decomposition, DecompositionOptions, progressive_decomposition
 from ..core.structure import decomposition_to_netlist, hierarchy_stats
 from ..online.scan import online_adder_spec, online_to_hierarchy_netlist, online_to_serial_netlist
 from ..synth.synthesize import synthesize_netlist
-from .flows import FlowResult
 
 
 @dataclass

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..anf.expression import Anf
-from .division import divide_by_cube, is_cube_free, literal_frequencies, make_cube_free
+from .division import divide_by_cube, literal_frequencies, make_cube_free
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ class MonomialIndexer:
         """Bitmask vector of ``expr`` over the (growing) monomial basis."""
         index_of = self._index_of
         indices = []
-        for monomial in expr.terms:
+        for monomial in expr.term_list():
             index = index_of.get(monomial)
             if index is None:
                 index = len(index_of)

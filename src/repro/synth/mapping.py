@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..circuit import gates
-from ..circuit.netlist import Gate, Netlist
+from ..circuit.netlist import Netlist
 from .library import Cell, Library, default_library
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Sequence
 
-from ..anf.context import Context
 from ..anf.expression import Anf
 from ..circuit import gates
 from ..circuit.netlist import Netlist

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.anf import Context
 from repro.benchcircuits import (
     adder_chain_counter_netlist,
     adder_spec,

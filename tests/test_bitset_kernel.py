@@ -26,7 +26,7 @@ from repro.core import (
     progressive_decomposition,
     rewrite_outputs,
 )
-from repro.core.grouping import _score_combined, score_group
+from repro.core.grouping import score_group
 from repro.core.pairs import Pair, PairList, initial_pairs, merge_equal_parts
 from repro.core.rewrite import extract_tag_component
 from repro.gf2 import GF2Matrix

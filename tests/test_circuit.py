@@ -1,9 +1,8 @@
 """Tests for the gate-level netlist substrate."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.anf import Anf, Context, parse
+from repro.anf import Context, parse
 from repro.circuit import (
     GateError,
     Netlist,

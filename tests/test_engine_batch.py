@@ -219,3 +219,89 @@ class TestBatchOrchestrator:
         assert warm_elapsed * 2 < sequential_cold, (
             f"warm batch {warm_elapsed:.3f}s vs sequential cold {sequential_cold:.3f}s"
         )
+
+
+class TestCacheRobustness:
+    """Corrupted or stale cache state must fall back to recompute, not crash."""
+
+    def _content_key(self, outputs, words):
+        pipeline = Pipeline.from_options(None)
+        return cache_key(canonical_spec_digest(outputs, words), pipeline.config_key())
+
+    def test_wrong_schema_record_is_a_miss(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        key = self._content_key(outputs, words)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        (tmp_path / f"{key}.json").write_text('{"schema": "not-a-decomposition"}')
+        assert cache.load(key) is None
+        assert cache.load_raw(key) is None
+
+    def test_missing_sections_record_is_a_miss(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        key = self._content_key(outputs, words)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        (tmp_path / f"{key}.json").write_text(
+            '{"schema": "repro-decomposition-v1", "names": []}'
+        )
+        assert cache.load(key) is None
+
+    def test_binary_garbage_record_is_a_miss(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        key = self._content_key(outputs, words)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        (tmp_path / f"{key}.json").write_bytes(b"\x00\xff\xfe not json at all")
+        assert cache.load(key) is None
+        _, hit = decompose_cached(outputs, input_words=words, cache=cache)
+        assert not hit
+
+    def test_structurally_invalid_record_recomputes(self, tmp_path):
+        # Parses, has the right schema and sections, but the payload is junk:
+        # deserialisation raises and load() must translate that into a miss.
+        cache = DecompositionCache(tmp_path)
+        outputs, words = _majority_outputs(5)
+        key = self._content_key(outputs, words)
+        decompose_cached(outputs, input_words=words, cache=cache)
+        import json as _json
+        broken = cache.load_raw(key)
+        broken["blocks"] = [{"definitely": "not a block"}]
+        (tmp_path / f"{key}.json").write_text(_json.dumps(broken))
+        assert cache.load(key) is None
+        result, hit = decompose_cached(outputs, input_words=words, cache=cache)
+        assert not hit
+        assert result.verify()
+
+    def test_stale_job_index_recomputes(self, tmp_path):
+        # A job index pointing at a content record that no longer exists must
+        # fall through to a full rebuild, then repair both layers.
+        jobs = [BatchJob("maj5", majority_spec, (5,))]
+        cold = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        for record in tmp_path.glob("*.json"):
+            record.unlink()
+        assert list((tmp_path / "index").glob("*.key")), "job index missing"
+        rerun = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        assert not rerun["maj5"].cache_hit
+        assert rerun["maj5"].decomposition.verify()
+        assert_bit_identical(cold["maj5"].decomposition, rerun["maj5"].decomposition)
+        warm = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        assert warm["maj5"].cache_hit
+
+    def test_corrupt_job_index_entry_recomputes(self, tmp_path):
+        jobs = [BatchJob("maj5", majority_spec, (5,))]
+        BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        for index_file in (tmp_path / "index").glob("*.key"):
+            index_file.write_text("0123deadbeef-not-a-real-content-key")
+        rerun = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        assert rerun["maj5"].decomposition.verify()
+
+    def test_truncated_record_behind_fresh_index(self, tmp_path):
+        # Index hit -> truncated content record -> worker must rebuild.
+        jobs = [BatchJob("maj5", majority_spec, (5,))]
+        BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        for record in tmp_path.glob("*.json"):
+            record.write_text(record.read_text()[: 40])
+        rerun = BatchOrchestrator(tmp_path, processes=1).run(jobs)
+        assert not rerun["maj5"].cache_hit
+        assert rerun["maj5"].decomposition.verify()

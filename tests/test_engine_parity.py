@@ -5,6 +5,11 @@ loop kept verbatim; every test here runs it next to the pipeline engine on
 independently built (but identically declared) contexts and asserts the
 results are bit-identical — outputs, blocks, and the complete per-iteration
 trace — across every ``DecompositionOptions`` ablation.
+
+Every ablation runs under both term backends: the reference loop always runs
+on the ``set`` backend (the seed representation), while the engine runs on
+the backend under test, so the packed term-matrix kernels are held to the
+same bit-identical standard as the pipeline itself.
 """
 
 import pytest
@@ -13,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 from reference_loop import reference_decomposition
 
 from repro.anf import Anf, Context, majority, variables
+from repro.anf.backend import using_backend
 from repro.core import DecompositionOptions, progressive_decomposition
 from repro.engine import (
     BasisExtractionPass,
@@ -99,20 +105,29 @@ def _twin_adder(width):
     return specs
 
 
+BACKENDS = ("set", "packed")
+
+
 class TestAblationParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("options", ABLATIONS, ids=lambda o: repr(o))
-    def test_majority7_parity(self, options):
+    def test_majority7_parity(self, options, backend):
         (ref_outputs, ref_words), (new_outputs, new_words) = _twin_majority(7)
-        expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
-        actual = progressive_decomposition(new_outputs, options, input_words=new_words)
+        with using_backend("set"):
+            expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
+        with using_backend(backend):
+            actual = progressive_decomposition(new_outputs, options, input_words=new_words)
         assert_bit_identical(expected, actual)
         assert actual.verify()
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("options", ABLATIONS[:4], ids=lambda o: repr(o))
-    def test_multi_output_adder_parity(self, options):
+    def test_multi_output_adder_parity(self, options, backend):
         (ref_outputs, ref_words), (new_outputs, new_words) = _twin_adder(4)
-        expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
-        actual = progressive_decomposition(new_outputs, options, input_words=new_words)
+        with using_backend("set"):
+            expected = reference_decomposition(ref_outputs, options, input_words=ref_words)
+        with using_backend(backend):
+            actual = progressive_decomposition(new_outputs, options, input_words=new_words)
         assert_bit_identical(expected, actual)
 
 
@@ -127,9 +142,10 @@ class TestRandomisedParity:
             min_size=0, max_size=6,
         ),
         st.sampled_from(ABLATIONS),
+        st.sampled_from(BACKENDS),
     )
-    @settings(max_examples=40, deadline=None)
-    def test_random_specs_parity(self, subsets_f, subsets_g, options):
+    @settings(max_examples=60, deadline=None)
+    def test_random_specs_parity(self, subsets_f, subsets_g, options, backend):
         results = []
         for _ in range(2):
             ctx = Context(["v0", "v1", "v2", "v3", "v4", "v5"])
@@ -152,13 +168,16 @@ class TestRandomisedParity:
         # (e.g. every optimisation disabled); parity then means both
         # implementations fail identically.
         try:
-            expected = reference_decomposition(ref_outputs, options)
+            with using_backend("set"):
+                expected = reference_decomposition(ref_outputs, options)
         except RuntimeError as reference_error:
-            with pytest.raises(RuntimeError) as caught:
-                progressive_decomposition(new_outputs, options)
-            assert str(caught.value) == str(reference_error)
+            with using_backend(backend):
+                with pytest.raises(RuntimeError) as caught:
+                    progressive_decomposition(new_outputs, options)
+                assert str(caught.value) == str(reference_error)
             return
-        actual = progressive_decomposition(new_outputs, options)
+        with using_backend(backend):
+            actual = progressive_decomposition(new_outputs, options)
         assert_bit_identical(expected, actual)
         assert actual.verify()
 

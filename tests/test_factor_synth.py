@@ -19,7 +19,6 @@ from repro.synth import (
     EmitContext,
     Library,
     StructuringError,
-    analyze_timing,
     available_strategies,
     build_netlist_from_expressions,
     default_library,

@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.anf import Context
-from repro.benchcircuits import adder_spec, lzd_spec, majority_spec
+from repro.benchcircuits import majority_spec
 from repro.circuit import check_netlists_equivalent
 from repro.eval import (
     PAPER_TABLE1,
