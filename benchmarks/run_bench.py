@@ -50,6 +50,7 @@ from repro.benchcircuits import (  # noqa: E402
 )
 from repro.core.structure import decomposition_to_netlist  # noqa: E402
 from repro.engine import BatchJob, BatchOrchestrator  # noqa: E402
+from repro.engine.profiling import collecting_pass_timings, rounded  # noqa: E402
 from repro.eval.flows import run_progressive_flow  # noqa: E402
 from repro.synth import default_library, synthesize_netlist  # noqa: E402
 
@@ -69,23 +70,59 @@ CIRCUITS: Dict[str, tuple[Callable, int, int]] = {
 }
 
 
-def bench_circuit(name: str, width: int, repeats: int, library) -> Dict[str, object]:
+def bench_circuit(
+    name: str, width: int, repeats: int, library, profile: bool = False
+) -> Dict[str, object]:
     """Time the progressive flow on one circuit and collect its result metrics."""
     builder = CIRCUITS[name][0]
     spec = builder(width)
     best = float("inf")
     result = None
+    best_profile: Dict[str, Dict[str, float]] | None = None
     for _ in range(max(1, repeats)):
+        timings: Dict[str, Dict[str, float]] = {}
         start = time.perf_counter()
-        result = run_progressive_flow(spec.outputs, spec.input_words, library=library)
+        if profile:
+            with collecting_pass_timings(timings):
+                result = run_progressive_flow(
+                    spec.outputs, spec.input_words, library=library
+                )
+        else:
+            result = run_progressive_flow(spec.outputs, spec.input_words, library=library)
         elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
+        if elapsed < best:
+            best = elapsed
+            best_profile = timings
     decomposition = result.decomposition
     entry: Dict[str, object] = {"width": width, "seconds": round(best, 4)}
     entry.update(_decomposition_metrics(decomposition))
     entry["area"] = round(result.area, 1)
     entry["delay"] = round(result.delay, 3)
+    if profile and best_profile is not None:
+        engine_seconds = sum(item["seconds"] for item in best_profile.values())
+        best_profile["structure+synthesis"] = {
+            "seconds": max(0.0, best - engine_seconds),
+            "calls": 1,
+        }
+        entry["profile"] = rounded(best_profile)
     return entry
+
+
+def print_profile(name: str, entry: Dict[str, object]) -> None:
+    """Render one circuit's per-pass breakdown as a table."""
+    breakdown = entry.get("profile")
+    if not breakdown:
+        return
+    total = entry["seconds"] or 1.0
+    print(f"\n  profile: {name} (width {entry['width']}, best of the timed runs)")
+    print(f"    {'stage':24s} {'seconds':>9s} {'calls':>6s} {'share':>7s}")
+    for stage, item in sorted(
+        breakdown.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        share = item["seconds"] / total
+        print(
+            f"    {stage:24s} {item['seconds']:>9.4f} {item['calls']:>6d} {share:>6.1%}"
+        )
 
 
 def _decomposition_metrics(decomposition) -> Dict[str, object]:
@@ -209,6 +246,10 @@ def main(argv=None) -> int:
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="on-disk decomposition cache directory "
                              "(enables the orchestrated mode)")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect a per-pass timing breakdown per circuit "
+                             "(table on stdout + a 'profile' section in the "
+                             "JSON record; sequential mode only)")
     args = parser.parse_args(argv)
 
     library = default_library()
@@ -223,13 +264,17 @@ def main(argv=None) -> int:
         if args.repeats is not None:
             print("note: --repeats is ignored in the orchestrated mode "
                   "(each decomposition runs once per worker)")
+        if args.profile:
+            print("note: --profile is ignored in the orchestrated mode "
+                  "(pass timings live in the worker processes)")
         repeats = 1
         results = bench_orchestrated(selected, widths, args.jobs, args.cache, library)
         mode += "-orchestrated"
     else:
         repeats = args.repeats if args.repeats is not None else 3
         results = {
-            name: bench_circuit(name, widths[name], repeats, library)
+            name: bench_circuit(name, widths[name], repeats, library,
+                                profile=args.profile)
             for name in selected
         }
     total = 0.0
@@ -243,6 +288,7 @@ def main(argv=None) -> int:
             f"verify={entry['verify']}{cached}",
             flush=True,
         )
+        print_profile(name, entry)
 
     record = {
         "schema": SCHEMA,

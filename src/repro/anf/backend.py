@@ -32,6 +32,7 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import sortkernel
 from .context import Context
 from .expression import Anf
 from .termmatrix import TERM_LIMIT, TermMatrix, concat_sorted
@@ -140,27 +141,15 @@ class PackedBackend(SetBackend):
         if matrix is None:
             return SetBackend.split_by_group(self, expr, group_mask)
         ctx = expr.ctx
-        buckets: Dict[int, List[int]] = {}
-        appends: Dict[int, object] = {}
-        remainder: List[int] = []
-        remainder_append = remainder.append
-        append_get = appends.get
-        # Rows ascend; clearing the same group part from every row of one
-        # bucket preserves the order, so the buckets are born canonical.
-        for term in matrix.to_list():
-            group_part = term & group_mask
-            if group_part == 0:
-                remainder_append(term)
-            else:
-                append = append_get(group_part)
-                if append is None:
-                    rows: List[int] = []
-                    buckets[group_part] = rows
-                    appends[group_part] = append = rows.append
-                append(term ^ group_part)
+        # Composite-key sort-and-slice: one stable sort keyed by the group
+        # part of every row, then each contiguous run is a bucket.  Rows
+        # sharing a group part keep their ascending order through the stable
+        # sort, and clearing the shared part preserves it, so the buckets
+        # are born canonical.
+        runs, remainder = sortkernel.split_runs_by_group(matrix.words, group_mask)
         result = {
             group_part: Anf._from_matrix(ctx, TermMatrix.from_sorted(rest))
-            for group_part, rest in buckets.items()
+            for group_part, rest in runs
         }
         return result, Anf._from_matrix(ctx, TermMatrix.from_sorted(remainder))
 
@@ -200,20 +189,18 @@ class PackedBackend(SetBackend):
                 return {tags_mask: Anf._from_matrix(ctx, matrix.strip_all(tags_mask))}
             if matrix.support_mask() & tags_mask == 0:
                 return {}
-        buckets: Dict[int, List[int]] = {}
-        for term in matrix.to_list():
-            tags = term & tags_mask
-            while tags:
-                bit = tags & -tags
-                rows = buckets.get(bit)
-                if rows is None:
-                    buckets[bit] = rows = []
-                rows.append(term & ~bit)
-                tags ^= bit
-        return {
-            bit: Anf._from_matrix(ctx, TermMatrix.from_sorted(rows))
-            for bit, rows in buckets.items()
-        }
+        # Multi-tag path: one boolean-mask selection per tag bit actually
+        # present in the support (a term may carry several tags, so the
+        # components overlap and a single sort cannot slice them).
+        result: Dict[int, Anf] = {}
+        present = matrix.support_mask() & tags_mask
+        while present:
+            bit = present & -present
+            present ^= bit
+            rows = sortkernel.scatter_tag(matrix.words, bit)
+            if len(rows):
+                result[bit] = Anf._from_matrix(ctx, TermMatrix.from_sorted(rows))
+        return result
 
     # ------------------------------------------------------------------
     def disjoint_xor(self, pieces: Sequence[Anf], ctx: Context) -> Anf:

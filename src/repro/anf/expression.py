@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping
 
+from . import sortkernel
 from .context import Context
 from .termmatrix import TERM_LIMIT, TermMatrix, xor_sorted
 
@@ -331,34 +332,48 @@ class Anf:
             return other
         if other.is_one:
             return self
-        if self.support_mask & other.support_mask == 0:
+        small, large = (self, other)
+        if small.num_terms > large.num_terms:
+            small, large = large, small
+        disjoint = self.support_mask & other.support_mask == 0
+        if disjoint and small.num_terms == 1:
+            # A fresh-variable (tag/block) multiply: OR one mask into every
+            # term.  Keep it word-parallel when the big operand is (or is
+            # worth making) matrix-backed — this is the hot product of the
+            # combine and rewrite stages.
+            matrix = large.term_matrix(
+                build=large.num_terms >= sortkernel.KERNEL_MIN_ROWS
+            )
+            (mask,) = small.term_list()
+            if matrix is not None and mask < TERM_LIMIT:
+                return Anf._from_matrix(self._ctx, matrix.or_all(mask))
+        if (
+            sortkernel.available()
+            and large.num_terms >= sortkernel.KERNEL_MIN_ROWS
+            and small.support_mask < TERM_LIMIT
+        ):
+            # Distribute the small operand over the large one's matrix: each
+            # small term is one vectorised OR sweep, and the partial slabs
+            # cancel mod 2 in a single sorted parity sweep.  The result stays
+            # matrix-backed, so chained products (spec builders, flatten)
+            # never round-trip through frozensets.
+            matrix = large.term_matrix(build=True)
+            if matrix is not None:
+                rows = sortkernel.product_rows(matrix.words, small.term_list())
+                return Anf._from_matrix(self._ctx, TermMatrix.from_sorted(rows))
+        if disjoint:
             # Disjoint supports make (left, right) -> left | right injective
             # (each factor is recovered by masking with its own support), so
             # no mod-2 cancellation can occur and the pairwise unions are the
             # product's canonical term set as-is.
-            single, many = self, other
-            if many.num_terms == 1:
-                single, many = other, single
-            if single.num_terms == 1:
-                # A fresh-variable (tag/block) multiply: OR one mask into
-                # every term.  Keep it word-parallel when the big operand is
-                # matrix-backed — this is the hot product of the combine and
-                # rewrite stages.
-                matrix = many.term_matrix()
-                (mask,) = single.term_list()
-                if matrix is not None and mask < TERM_LIMIT:
-                    return Anf._from_matrix(self._ctx, matrix.or_all(mask))
             return Anf._raw(
                 self._ctx,
                 frozenset(left | right for left in self.terms for right in other.terms),
             )
         # Multiply the smaller operand into the larger one.
-        small, large = (self.terms, other.terms)
-        if len(small) > len(large):
-            small, large = large, small
         acc: set[int] = set()
-        for left in small:
-            for right in large:
+        for left in small.terms:
+            for right in large.terms:
                 product = left | right
                 if product in acc:
                     acc.discard(product)
@@ -406,7 +421,11 @@ class Anf:
         return self ^ other ^ self.cached_and(other)
 
     def __invert__(self) -> "Anf":
-        return Anf._raw(self._ctx, self.terms.symmetric_difference({0}))
+        if self._terms is None:
+            # Matrix-only operand: complement via the packed XOR so giant
+            # intermediates (spec-builder borrow chains) stay matrix-backed.
+            return self ^ Anf.one(self._ctx)
+        return Anf._raw(self._ctx, self._terms.symmetric_difference({0}))
 
     def __bool__(self) -> bool:
         return not self.is_zero
@@ -527,10 +546,9 @@ class Anf:
             cache[term] = result
             return result
 
-        total = Anf.zero(self._ctx)
-        for term in self.term_list():
-            total = total ^ substituted_monomial(term)
-        return total
+        return xor_accumulate(
+            (substituted_monomial(term) for term in self.term_list()), self._ctx
+        )
 
     def cofactor(self, name: str, value: int | bool) -> "Anf":
         """Shannon cofactor: the expression with ``name`` fixed to ``value``."""
@@ -614,6 +632,65 @@ class Anf:
         return self.num_terms
 
 
+def xor_accumulate(exprs: Iterable[Anf], ctx: Context) -> Anf:
+    """XOR many expressions in one mod-2 sweep instead of pairwise folds.
+
+    Folding ``total ^= piece`` re-traverses the accumulated set once per
+    piece — quadratic in the result size, which is what dominated
+    ``Decomposition.verify`` on the full-width sweeps.  When every piece
+    packs, the pieces' slabs reduce in a single sorted parity pass; any
+    unpackable piece degrades to the fold.
+    """
+    if not sortkernel.available():
+        total = Anf.zero(ctx)
+        for expr in exprs:
+            total = total ^ expr
+        return total
+    # Stream the pieces, batching their slabs against a row budget: the
+    # transient concatenation stays O(budget + result) even when the pieces
+    # are individually giant but mostly cancel, and the pieces themselves
+    # are never all held at once (callers may pass a generator).
+    accumulated = None
+    batch: list = []
+    batch_rows = 0
+    last_alive: Anf | None = None
+    alive_count = 0
+    residue: Anf | None = None
+    for expr in exprs:
+        if expr.is_zero:
+            continue
+        alive_count += 1
+        if residue is not None:
+            residue = residue ^ expr
+            continue
+        matrix = expr.term_matrix(build=True)
+        if matrix is None:
+            # An unpackable piece: collapse what is batched so far and fall
+            # back to pairwise folds for the rest of the stream.
+            merged = batch if accumulated is None else [accumulated, *batch]
+            rows = sortkernel.parity_merge(merged)
+            residue = Anf._from_matrix(ctx, TermMatrix.from_sorted(rows)) ^ expr
+            batch, batch_rows = [], 0
+            continue
+        last_alive = expr
+        batch.append(matrix.words)
+        batch_rows += matrix.count
+        if batch_rows >= sortkernel.PRODUCT_SLAB_ROWS:
+            merged = batch if accumulated is None else [accumulated, *batch]
+            accumulated = sortkernel.parity_merge(merged)
+            batch, batch_rows = [], 0
+    if residue is not None:
+        return residue
+    if alive_count == 0:
+        return Anf.zero(ctx)
+    if alive_count == 1 and last_alive is not None:
+        return last_alive
+    merged = batch if accumulated is None else [accumulated, *batch]
+    return Anf._from_matrix(
+        ctx, TermMatrix.from_sorted(sortkernel.parity_merge(merged))
+    )
+
+
 def anf_product(exprs: Iterable[Anf], ctx: Context) -> Anf:
     """AND together a sequence of expressions (``1`` for an empty sequence)."""
     result = Anf.one(ctx)
@@ -626,10 +703,7 @@ def anf_product(exprs: Iterable[Anf], ctx: Context) -> Anf:
 
 def anf_xor(exprs: Iterable[Anf], ctx: Context) -> Anf:
     """XOR together a sequence of expressions (``0`` for an empty sequence)."""
-    result = Anf.zero(ctx)
-    for expr in exprs:
-        result = result ^ expr
-    return result
+    return xor_accumulate(exprs, ctx)
 
 
 def anf_or(exprs: Iterable[Anf], ctx: Context) -> Anf:

@@ -1,0 +1,367 @@
+"""Whole-matrix sort/scan kernels over packed term matrices.
+
+PR 3's :class:`~repro.anf.termmatrix.TermMatrix` made the whole-expression
+*queries* word-parallel (popcounts, OR-folds, replicated masks), but the
+remaining comparator floor was still per-term Python: the bucketing loop in
+the packed ``split_by_group``, the multi-tag scatter, the one-time
+``sorted(frozenset)`` pack of a spec, and the cancel-adjacent loop of
+``xor_sorted``.  This module eliminates those by treating the matrix as what
+it physically is — one contiguous slab of unsigned 64-bit rows — and running
+every remaining O(terms) scan as a handful of vectorised passes:
+
+``split_runs_by_group``
+    The composite-key sort-and-slice behind ``split_by_group``: key every row
+    by its group part, one *stable* sort, then slice the contiguous runs.
+    Within a run the rows already ascend (rows sharing a group part are
+    ordered by their rest part), so every bucket is born a canonical
+    :class:`TermMatrix` without any per-term rebucketing.
+
+``scatter_tag``
+    One boolean-mask selection plus a bit-strip per tag: the multi-tag path
+    of ``scatter_by_tags`` becomes O(tags) vector passes instead of a
+    per-term inner loop over the tag bits.
+
+``sort_terms`` / ``merge_disjoint`` / ``xor_merge`` / ``parity_merge``
+    The construction kernels: pack-and-sort an unordered term stream, union
+    pairwise-disjoint sorted slabs, symmetric-difference two slabs, and
+    reduce a multiset of slabs modulo 2 (terms surviving iff they occur an
+    odd number of times).  ``parity_merge`` is what lets a product or a
+    substitution accumulate *all* its partial term slabs first and cancel
+    them in one sorted sweep, instead of XOR-ing partials one at a time
+    (which is quadratic in the result size).
+
+``shared_literal_count`` / ``support_fold``
+    Scan-side helpers for the optimisation passes: literals shared between
+    two sorted slabs, and the OR-fold of a slab.
+
+All kernels are exact and representation-transparent: they compute the same
+canonical term sets as the per-term reference loops, which the property
+tests in ``tests/test_sortkernel.py`` assert on arbitrary inputs.  The
+heavy lifting needs :mod:`numpy` (already a dependency via
+:mod:`repro.anf.truthtable`); when numpy is unavailable every entry point
+falls back to a pure-Python implementation, and tiny inputs skip numpy
+anyway — below :data:`KERNEL_MIN_ROWS` rows the fixed cost of array
+round-trips exceeds the per-term loop it replaces.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every kernel call
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+#: Row count below which the per-term Python paths win (array round-trip
+#: costs dominate); measured on the quick-width sweep.
+KERNEL_MIN_ROWS = 1024
+
+#: Rows are 64-bit; masks are clipped to the row width before vectorising
+#: (a variable with index >= 64 cannot occur in any packable term, so
+#: clipping never changes a result).
+ROW_MASK = (1 << 64) - 1
+
+WORD_CODE = "Q"
+
+
+def available() -> bool:
+    """True when the numpy-backed kernels are usable."""
+    return _np is not None
+
+
+def _as_u64(words: array):
+    """Zero-copy numpy view of an ``array('Q')`` slab."""
+    return _np.frombuffer(words, dtype=_np.uint64)
+
+
+def _to_words(rows) -> array:
+    """Materialise a numpy uint64 vector back into an ``array('Q')``."""
+    out = array(WORD_CODE)
+    out.frombytes(_np.ascontiguousarray(rows, dtype=_np.uint64).tobytes())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sort-and-slice kernels
+# ----------------------------------------------------------------------
+def split_runs_by_group(
+    words: array, group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    """Composite-key sort-and-slice split of a sorted row slab.
+
+    Returns ``(buckets, remainder)`` where ``buckets`` is a list of
+    ``(group_part, rest_rows)`` with ``group_part != 0`` and ``rest_rows``
+    strictly ascending, and ``remainder`` holds the rows containing no group
+    variable.  Semantics match the per-term reference: each row ``t`` lands
+    in bucket ``t & group_mask`` as ``t ^ (t & group_mask)``.
+
+    The stable sort keys every row by its group part only; rows within one
+    bucket keep their original (ascending) order, and clearing the shared
+    group part preserves it — so every slice is born canonical.
+    """
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        return _split_runs_python(words, group_mask)
+    rows = _as_u64(words)
+    gpart = rows & _np.uint64(group_mask & ROW_MASK)
+    if not gpart.any():
+        return [], words
+    order = _np.argsort(gpart, kind="stable")
+    sorted_g = gpart[order]
+    sorted_rest = (rows ^ gpart)[order]
+    edges = _np.flatnonzero(sorted_g[1:] != sorted_g[:-1]) + 1
+    starts = [0, *edges.tolist()]
+    ends = [*edges.tolist(), len(rows)]
+    buckets: List[Tuple[int, array]] = []
+    remainder = array(WORD_CODE)
+    for lo, hi in zip(starts, ends):
+        part = int(sorted_g[lo])
+        if part == 0:
+            remainder = _to_words(sorted_rest[lo:hi])
+        else:
+            buckets.append((part, _to_words(sorted_rest[lo:hi])))
+    return buckets, remainder
+
+
+def _split_runs_python(
+    words: Sequence[int], group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    """Per-term reference split (also the numpy-less fallback)."""
+    buckets: Dict[int, List[int]] = {}
+    remainder: List[int] = []
+    remainder_append = remainder.append
+    bucket_get = buckets.get
+    for term in words:
+        group_part = term & group_mask
+        if group_part == 0:
+            remainder_append(term)
+        else:
+            rows = bucket_get(group_part)
+            if rows is None:
+                buckets[group_part] = rows = []
+            rows.append(term ^ group_part)
+    return (
+        [(part, array(WORD_CODE, rest)) for part, rest in buckets.items()],
+        array(WORD_CODE, remainder),
+    )
+
+
+def scatter_tag(words: array, bit: int) -> array:
+    """Rows containing ``bit``, with the bit stripped, in ascending order.
+
+    Rows that all contain a common bit keep their relative order when it is
+    cleared, so the selection is born sorted.
+    """
+    if bit > ROW_MASK:
+        return array(WORD_CODE)
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        return array(WORD_CODE, [t & ~bit for t in words if t & bit])
+    rows = _as_u64(words)
+    b = _np.uint64(bit)
+    return _to_words(rows[(rows & b) != 0] & ~b)
+
+
+# ----------------------------------------------------------------------
+# Construction kernels
+# ----------------------------------------------------------------------
+def sort_terms(terms: Iterable[int], count: Optional[int] = None) -> Optional[array]:
+    """Pack an unordered stream of distinct terms into a sorted slab.
+
+    Returns ``None`` when some term does not fit a 64-bit row (the caller
+    falls back to frozenset storage, exactly like
+    :meth:`TermMatrix.from_terms`).
+    """
+    if count is None:
+        terms = list(terms)
+        count = len(terms)
+    if _np is None or count < KERNEL_MIN_ROWS:
+        rows = sorted(terms)
+        if rows and rows[-1] > ROW_MASK:
+            return None
+        return array(WORD_CODE, rows)
+    try:
+        rows = _np.fromiter(terms, dtype=_np.uint64, count=count)
+    except OverflowError:
+        return None
+    rows.sort(kind="stable")
+    return _to_words(rows)
+
+
+def merge_disjoint(slabs: Sequence[array]) -> array:
+    """Union of pairwise-disjoint sorted slabs, re-sorted into one slab."""
+    alive = [s for s in slabs if len(s)]
+    if not alive:
+        return array(WORD_CODE)
+    if len(alive) == 1:
+        return alive[0]
+    total = sum(len(s) for s in alive)
+    if _np is None or total < KERNEL_MIN_ROWS:
+        merged = array(WORD_CODE)
+        for s in alive:
+            merged.extend(s)
+        rows = merged.tolist()
+        rows.sort()
+        return array(WORD_CODE, rows)
+    merged = _np.concatenate([_as_u64(s) for s in alive])
+    merged.sort(kind="stable")
+    return _to_words(merged)
+
+
+def xor_merge(left: array, right: array) -> array:
+    """Symmetric difference of two sorted slabs of distinct rows.
+
+    Each operand holds distinct rows, so a shared row occurs exactly twice in
+    the concatenation and the adjacent duplicates cancel.
+    """
+    if not len(left):
+        return right
+    if not len(right):
+        return left
+    if _np is None or len(left) + len(right) < KERNEL_MIN_ROWS:
+        return _xor_merge_python(left, right)
+    merged = _np.concatenate([_as_u64(left), _as_u64(right)])
+    merged.sort(kind="stable")
+    dup = merged[1:] == merged[:-1]
+    keep = _np.ones(len(merged), dtype=bool)
+    keep[1:] &= ~dup
+    keep[:-1] &= ~dup
+    return _to_words(merged[keep])
+
+
+def _xor_merge_python(left: Sequence[int], right: Sequence[int]) -> array:
+    merged = list(left)
+    merged.extend(right)
+    merged.sort()
+    out: List[int] = []
+    append = out.append
+    previous = -1
+    for row in merged:
+        if row == previous:
+            out.pop()
+            previous = -1
+        else:
+            append(row)
+            previous = row
+    return array(WORD_CODE, out)
+
+
+def parity_merge(slabs: Sequence[array]) -> array:
+    """Mod-2 reduction of a multiset of row slabs.
+
+    The result holds the rows occurring an odd number of times across all
+    slabs — the canonical term set of the XOR of the expressions the slabs
+    represent.  One sorted sweep replaces the quadratic one-at-a-time XOR
+    accumulation of products and substitutions.  Slabs need not be sorted
+    or duplicate-free (product slabs ``rows | term`` are neither when the
+    term overlaps the support), so even a single slab is swept.
+    """
+    alive = [s for s in slabs if len(s)]
+    if not alive:
+        return array(WORD_CODE)
+    total = sum(len(s) for s in alive)
+    if _np is None or total < KERNEL_MIN_ROWS:
+        counts: Dict[int, int] = {}
+        for s in alive:
+            for row in s:
+                counts[row] = counts.get(row, 0) + 1
+        return array(WORD_CODE, sorted(r for r, c in counts.items() if c & 1))
+    if len(alive) == 1:
+        merged = _as_u64(alive[0]).copy()
+    else:
+        merged = _np.concatenate([_as_u64(s) for s in alive])
+    # Slabs from expressions are sorted runs — timsort ("stable") gallops
+    # through them instead of re-partitioning from scratch.
+    merged.sort(kind="stable")
+    return _to_words(_odd_runs(merged))
+
+
+def _odd_runs(merged):
+    """Rows of a sorted vector occurring an odd number of times."""
+    edges = _np.flatnonzero(merged[1:] != merged[:-1]) + 1
+    starts = _np.concatenate(([0], edges))
+    ends = _np.concatenate((edges, [len(merged)]))
+    odd = ((ends - starts) & 1).astype(bool)
+    return merged[starts[odd]]
+
+
+def product_rows(large: array, small_terms: Sequence[int]) -> array:
+    """Sorted canonical rows of ``XOR(small_terms) * large``.
+
+    Each small term contributes one vectorised ``row | term`` slab; the
+    slabs reduce mod 2 in one sorted parity sweep (a product term can repeat
+    — ``r1 | t1 == r2 | t2`` — whenever the factors overlap, so plain
+    dedup is not enough).  A divide-and-conquer split bounds the transient
+    slab memory for products where both operands are large; the halves are
+    themselves canonical, so they recombine with a run-friendly stable sort.
+    """
+    if _np is None or len(large) * len(small_terms) < KERNEL_MIN_ROWS:
+        counts: Dict[int, int] = {}
+        for term in small_terms:
+            for row in large:
+                key = row | term
+                counts[key] = counts.get(key, 0) + 1
+        return array(WORD_CODE, sorted(r for r, c in counts.items() if c & 1))
+    rows = _as_u64(large)
+    return _to_words(_product_rows_rec(rows, list(small_terms)))
+
+
+#: Transient row budget of one product parity sweep (~128 MB of u64 rows).
+PRODUCT_SLAB_ROWS = 1 << 24
+
+
+def _product_rows_rec(rows, small_terms: List[int]):
+    if len(small_terms) * len(rows) <= PRODUCT_SLAB_ROWS or len(small_terms) <= 2:
+        slabs = [rows | _np.uint64(term & ROW_MASK) for term in small_terms]
+        merged = slabs[0] if len(slabs) == 1 else _np.concatenate(slabs)
+        # Product slabs are unsorted whenever a term overlaps the support;
+        # introsort beats timsort on run-free data.
+        merged.sort()
+        return _odd_runs(merged)
+    mid = len(small_terms) // 2
+    left = _product_rows_rec(rows, small_terms[:mid])
+    right = _product_rows_rec(rows, small_terms[mid:])
+    merged = _np.concatenate((left, right))
+    merged.sort(kind="stable")  # two sorted runs: timsort gallops
+    return _odd_runs(merged)
+
+
+# ----------------------------------------------------------------------
+# Scan helpers
+# ----------------------------------------------------------------------
+def or_into_all(words: array, mask: int) -> array:
+    """``row | mask`` for every row; ascending whenever the mask is disjoint
+    from the slab's support (the caller's precondition)."""
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        return array(WORD_CODE, [t | mask for t in words])
+    return _to_words(_as_u64(words) | _np.uint64(mask & ROW_MASK))
+
+
+def support_fold(words: array) -> int:
+    """OR of every row in one vector pass."""
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        mask = 0
+        for term in words:
+            mask |= term
+        return mask
+    return int(_np.bitwise_or.reduce(_as_u64(words)))
+
+
+def shared_literal_count(left: array, right: array) -> int:
+    """Total set bits over the rows present in both sorted slabs."""
+    if (
+        _np is None
+        or min(len(left), len(right)) == 0
+        or len(left) + len(right) < KERNEL_MIN_ROWS
+    ):
+        shared = frozenset(left) & frozenset(right)
+        return sum(row.bit_count() for row in shared)
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    small_rows = _as_u64(small)
+    large_rows = _as_u64(large)
+    positions = _np.searchsorted(large_rows, small_rows)
+    positions[positions == len(large_rows)] = 0
+    hits = large_rows[positions] == small_rows
+    # Popcount of the concatenated row bytes == sum of per-row popcounts
+    # (works on every numpy, unlike np.bitwise_count which needs >= 2.0).
+    return int.from_bytes(small_rows[hits].tobytes(), "little").bit_count()

@@ -32,6 +32,8 @@ from __future__ import annotations
 from array import array
 from typing import Iterable, List, Optional, Sequence
 
+from . import sortkernel
+
 #: Array typecode for the row storage.  ``Q`` is guaranteed to be exactly
 #: 64 bits by the :mod:`array` documentation, unlike ``L``.
 WORD_CODE = "Q"
@@ -74,11 +76,13 @@ class TermMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_terms(cls, terms: Iterable[int]) -> Optional["TermMatrix"]:
-        """Pack an unordered collection of distinct terms (sorts them)."""
-        rows = sorted(terms)
-        if rows and rows[-1] >= TERM_LIMIT:
+        """Pack an unordered collection of distinct terms (one vectorised sort)."""
+        rows = sortkernel.sort_terms(
+            terms, count=len(terms) if hasattr(terms, "__len__") else None
+        )
+        if rows is None:
             return None
-        return cls(array(WORD_CODE, rows))
+        return cls(rows)
 
     @classmethod
     def from_sorted(cls, rows: Sequence[int]) -> "TermMatrix":
@@ -118,17 +122,20 @@ class TermMatrix:
         return self.packed().bit_count()
 
     def support_mask(self) -> int:
-        """OR of every row, by halving folds on the packed view (``O(log n)``)."""
+        """OR of every row (one vector fold; big-integer halving fallback)."""
         mask = self._support
         if mask is None:
-            value = self.packed()
-            width = len(self.words)
-            while width > 1:
-                half = (width + 1) // 2
-                high = value >> (half * WORD_BITS)
-                value = (value ^ (high << (half * WORD_BITS))) | high
-                width = half
-            mask = value
+            if sortkernel.available() and len(self.words) >= sortkernel.KERNEL_MIN_ROWS:
+                mask = sortkernel.support_fold(self.words)
+            else:
+                value = self.packed()
+                width = len(self.words)
+                while width > 1:
+                    half = (width + 1) // 2
+                    high = value >> (half * WORD_BITS)
+                    value = (value ^ (high << (half * WORD_BITS))) | high
+                    width = half
+                mask = value
             self._support = mask
         return mask
 
@@ -149,8 +156,11 @@ class TermMatrix:
             raise ValueError("or_all requires a mask disjoint from the support")
         if mask >= TERM_LIMIT or mask < 0:
             raise ValueError("mask does not fit a 64-bit row")
-        merged = self.packed() | replicate(mask, len(self.words))
-        result = TermMatrix(_array_from_packed(merged, len(self.words)))
+        if sortkernel.available() and len(self.words) >= sortkernel.KERNEL_MIN_ROWS:
+            result = TermMatrix(sortkernel.or_into_all(self.words, mask))
+        else:
+            merged = self.packed() | replicate(mask, len(self.words))
+            result = TermMatrix(_array_from_packed(merged, len(self.words)))
         if self._support is not None:
             result._support = self._support | mask
         return result
@@ -195,17 +205,7 @@ def concat_sorted(matrices: Sequence[TermMatrix]) -> TermMatrix:
     operand is marked by a distinct variable bit), which is what makes the
     union equal to the XOR of the operands.
     """
-    alive = [m.words for m in matrices if m.words]
-    if not alive:
-        return TermMatrix(array(WORD_CODE))
-    if len(alive) == 1:
-        return TermMatrix(alive[0])
-    merged = array(WORD_CODE)
-    for words in alive:
-        merged.extend(words)
-    rows = merged.tolist()
-    rows.sort()
-    return TermMatrix(array(WORD_CODE, rows))
+    return TermMatrix(sortkernel.merge_disjoint([m.words for m in matrices]))
 
 
 def xor_sorted(left: TermMatrix, right: TermMatrix) -> TermMatrix:
@@ -219,18 +219,4 @@ def xor_sorted(left: TermMatrix, right: TermMatrix) -> TermMatrix:
         return right
     if not right.words:
         return left
-    merged = array(WORD_CODE, left.words)
-    merged.extend(right.words)
-    rows = merged.tolist()
-    rows.sort()
-    out: List[int] = []
-    append = out.append
-    previous = -1
-    for row in rows:
-        if row == previous:
-            out.pop()
-            previous = -1
-        else:
-            append(row)
-            previous = row
-    return TermMatrix(array(WORD_CODE, out))
+    return TermMatrix(sortkernel.xor_merge(left.words, right.words))

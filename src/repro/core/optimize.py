@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..anf import sortkernel
 from ..anf.expression import Anf
-from ..gf2.linear import MonomialIndexer
+from ..gf2.linear import MonomialVocabulary
 from ..gf2.vectorspace import find_linear_dependency
 from .nullspace import ideal_product_generator
 from .pairs import Pair, PairList
@@ -21,17 +22,19 @@ class _DependencyFinder:
     """``find_expression_dependency`` with vectorisation cached across calls.
 
     The minimisation loop re-examines mostly unchanged expression lists every
-    round; a shared :class:`MonomialIndexer` plus a per-expression vector
+    round; a shared :class:`MonomialVocabulary` plus a per-expression vector
     memo makes each repeat O(changed expressions) instead of re-vectorising
-    the whole list.  Coordinate assignment differs from a fresh indexer, but
-    linear dependencies are basis-independent and the combination over an
-    independent prefix is unique, so the result is bit-identical.
+    the whole list, and a matrix-backed expression vectorises in a few
+    whole-slab passes instead of a dict lookup per term.  Coordinate
+    assignment differs from a fresh indexer, but linear dependencies are
+    basis-independent and the combination over an independent prefix is
+    unique, so the result is bit-identical.
     """
 
     __slots__ = ("_indexer", "_vectors")
 
     def __init__(self) -> None:
-        self._indexer = MonomialIndexer()
+        self._indexer = MonomialVocabulary()
         self._vectors: Dict[object, int] = {}
 
     def find(self, exprs: Sequence[Anf]) -> tuple[int, list[int]] | None:
@@ -54,6 +57,16 @@ class _DependencyFinder:
         index, combination = dependency
         others = [j for j in range(index) if combination >> j & 1]
         return index, others
+
+
+def _shared_literals(left: Anf, right: Anf) -> int:
+    """Literals on the monomials common to both expressions (exact)."""
+    left_matrix = left.term_matrix(build=True)
+    right_matrix = right.term_matrix(build=True)
+    if left_matrix is not None and right_matrix is not None:
+        return sortkernel.shared_literal_count(left_matrix.words, right_matrix.words)
+    shared = left.terms & right.terms
+    return sum(mask.bit_count() for mask in shared)
 
 
 def minimize_basis_by_linear_dependence(pair_list: PairList, max_rounds: int = 64) -> PairList:
@@ -129,6 +142,11 @@ def improve_basis_by_size_reduction(pair_list: PairList, max_rounds: int = 200) 
     literal count of the two pairs involved.
     """
     pairs = list(pair_list.pairs)
+    # Shared-literal counts are keyed by the pairs' canonical term keys and
+    # survive across rounds: one rewrite touches two pairs, so every other
+    # (i, j) combination hits this memo in the next round's scan (the same
+    # cross-round pattern as _DependencyFinder above).
+    shared_memo: Dict[frozenset, tuple[int, int]] = {}
     for _ in range(max_rounds):
         best_gain = 0
         best_action: tuple[int, int] | None = None
@@ -136,24 +154,39 @@ def improve_basis_by_size_reduction(pair_list: PairList, max_rounds: int = 200) 
         # literal-count gain reduces to
         #   lit(X1) + lit(Y2) - lit(X1 ⊕ X2) - lit(Y1 ⊕ Y2)
         # and ``lit(A ⊕ B) = lit(A) + lit(B) - 2·lit(A ∩ B)`` on canonical
-        # term sets; the candidate scan therefore needs two set
-        # intersections per (i, j) and no Pair/Anf/null-generator objects.
-        firsts = [pair.first.terms for pair in pairs]
-        seconds = [pair.second.terms for pair in pairs]
+        # term sets; the candidate scan therefore needs two shared-literal
+        # counts per (i, j) — computed on the sorted matrix slabs, so the
+        # giant pair seconds never materialise frozensets — and no
+        # Pair/Anf/null-generator objects.  Both counts are symmetric, so
+        # each unordered pair is measured once.
+        first_keys = [pair.first.term_key() for pair in pairs]
+        second_keys = [pair.second.term_key() for pair in pairs]
         first_lits = [pair.first.literal_count for pair in pairs]
         second_lits = [pair.second.literal_count for pair in pairs]
         for i in range(len(pairs)):
             for j in range(len(pairs)):
                 if i == j:
                     continue
-                if firsts[i] == firsts[j] or seconds[i] == seconds[j]:
+                if first_keys[i] == first_keys[j] or second_keys[i] == second_keys[j]:
                     continue  # the rewrite would create a zero element
-                shared_first = sum(
-                    mask.bit_count() for mask in firsts[i] & firsts[j]
+                # Unordered content key: both counts are symmetric in the
+                # two pairs, and frozenset() sidesteps ordering the keys
+                # (bytes and frozenset keys are hashable but not mutually
+                # comparable).
+                slot = frozenset(
+                    (
+                        (first_keys[i], second_keys[i]),
+                        (first_keys[j], second_keys[j]),
+                    )
                 )
-                shared_second = sum(
-                    mask.bit_count() for mask in seconds[i] & seconds[j]
-                )
+                shared = shared_memo.get(slot)
+                if shared is None:
+                    shared = (
+                        _shared_literals(pairs[i].first, pairs[j].first),
+                        _shared_literals(pairs[i].second, pairs[j].second),
+                    )
+                    shared_memo[slot] = shared
+                shared_first, shared_second = shared
                 gain = (
                     2 * (shared_first + shared_second)
                     - first_lits[j]

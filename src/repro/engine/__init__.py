@@ -17,6 +17,8 @@ from .batch import (
     BatchResult,
     decompose_cached,
     map_parallel,
+    shard_map,
+    shard_workers,
 )
 from .cache import (
     DecompositionCache,
@@ -35,6 +37,7 @@ from .passes import (
     SizeReductionPass,
 )
 from .pipeline import Pipeline
+from .profiling import collecting_pass_timings
 from .state import EngineState
 
 __all__ = [
@@ -53,8 +56,11 @@ __all__ = [
     "RewritePass",
     "SizeReductionPass",
     "cache_key",
+    "collecting_pass_timings",
     "decompose_cached",
     "deserialize_decomposition",
     "map_parallel",
     "serialize_decomposition",
+    "shard_map",
+    "shard_workers",
 ]

@@ -24,12 +24,22 @@ parent, so a batch result is indistinguishable from an in-process run
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+# Intra-decomposition pass sharding (REPRO_SHARD_PASSES) lives in
+# ``repro.parallel`` — a layer below ``repro.core`` so the core procedures
+# can use it without a core -> engine cycle; re-exported here because the
+# orchestrator is the engine's parallelism front door.
+from ..parallel import (  # noqa: F401  (re-exports)
+    SHARD_ENV,
+    pool_context,
+    shard_chunks,
+    shard_map,
+    shard_workers,
+)
 from ..anf.canonical import canonical_spec_digest
 from ..anf.expression import Anf
 from ..core.decompose import Decomposition, DecompositionOptions
@@ -174,11 +184,6 @@ def _pool_processes(requested: Optional[int], num_items: int) -> int:
     return max(1, min(os.cpu_count() or 1, num_items))
 
 
-def _pool_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
 def map_parallel(func: Callable, items: Sequence, processes: Optional[int] = None) -> list:
     """Apply a picklable function to every item, forking when it pays off.
 
@@ -192,7 +197,7 @@ def map_parallel(func: Callable, items: Sequence, processes: Optional[int] = Non
     workers = _pool_processes(processes, len(items))
     if workers == 1:
         return [func(item) for item in items]
-    with _pool_context().Pool(workers) as pool:
+    with pool_context().Pool(workers) as pool:
         return pool.map(func, items, chunksize=1)
 
 

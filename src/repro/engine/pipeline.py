@@ -15,10 +15,12 @@ string; together with the canonical spec digest
 
 from __future__ import annotations
 
+import time
 from typing import List, Mapping, Optional, Sequence
 
 from ..anf.expression import Anf
 from ..core.decompose import Decomposition, DecompositionOptions
+from . import profiling
 from .passes import (
     BasisExtractionPass,
     GroupingPass,
@@ -137,9 +139,14 @@ class Pipeline:
         ``options`` only annotates the result (and is reconstructed from the
         pass list when omitted); the behaviour is determined by the passes.
         """
+        # Timing is always read (two perf_counter calls per pass execution,
+        # nanoseconds); profiling.record is a no-op with no collector, so
+        # the profiled and unprofiled paths are one code path.
+        start = time.perf_counter()
         state = EngineState.from_outputs(
             outputs, options or self.to_options(), input_words
         )
+        profiling.record("prepare-state", time.perf_counter() - start)
         while not state.done():
             if state.level >= self.max_iterations:
                 raise RuntimeError(
@@ -148,7 +155,9 @@ class Pipeline:
                 )
             state.begin_iteration()
             for p in self.passes:
+                start = time.perf_counter()
                 p.run(state)
+                profiling.record(p.name, time.perf_counter() - start)
         return state.finish()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -1,0 +1,68 @@
+"""Per-pass timing collection for the pipeline.
+
+The "Next levers" sections of the ROADMAP used to be written from ad-hoc
+cProfile sessions; this module gives the benchmark harness a first-class
+breakdown instead.  A collector is a plain dict installed with
+:func:`collecting_pass_timings`; while one is active,
+:meth:`~repro.engine.pipeline.Pipeline.run` records the wall-clock of every
+pass execution (cumulative seconds + call count per pass name, plus the
+state-preparation step).  With no collector installed the pipeline pays two
+``perf_counter`` reads per iteration at most — nothing is recorded.
+
+Collectors nest (the innermost benchmark wins is *not* the semantics:
+every active collector receives every record, so a sweep-level and a
+circuit-level breakdown can run simultaneously).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+#: Stack of active collectors.  The engine is single-threaded per process
+#: (parallelism is process-based), so a plain module list suffices.
+_active: List[Dict[str, Dict[str, float]]] = []
+
+
+def active() -> bool:
+    """True when at least one collector is installed."""
+    return bool(_active)
+
+
+def record(name: str, seconds: float) -> None:
+    """Add one timed execution of ``name`` to every active collector."""
+    for sink in _active:
+        entry = sink.get(name)
+        if entry is None:
+            sink[name] = {"seconds": seconds, "calls": 1}
+        else:
+            entry["seconds"] += seconds
+            entry["calls"] += 1
+
+
+@contextmanager
+def collecting_pass_timings(
+    sink: Dict[str, Dict[str, float]] | None = None,
+) -> Iterator[Dict[str, Dict[str, float]]]:
+    """Install a collector for the duration of the block; yields it."""
+    if sink is None:
+        sink = {}
+    _active.append(sink)
+    try:
+        yield sink
+    finally:
+        # Remove by identity: two nested collectors receive identical
+        # records, so list.remove()'s equality match could drop the outer
+        # dict and leave the inner one orphaned-but-active.
+        for index, active in enumerate(_active):
+            if active is sink:
+                del _active[index]
+                break
+
+
+def rounded(sink: Dict[str, Dict[str, float]], digits: int = 4) -> Dict[str, Dict[str, object]]:
+    """JSON-friendly copy with seconds rounded and calls as ints."""
+    return {
+        name: {"seconds": round(entry["seconds"], digits), "calls": int(entry["calls"])}
+        for name, entry in sink.items()
+    }

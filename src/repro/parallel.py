@@ -1,0 +1,110 @@
+"""Process-pool primitives shared by the engine and the core procedures.
+
+This module sits *below* ``repro.core``: it imports nothing from the
+package, so ``core`` procedures (``findGroup``'s sharded scoring) can use
+the pass-shard pool at module level without creating an import cycle with
+``repro.engine`` (which re-exports these names as part of its orchestration
+API).
+
+Two parallelism levels exist and deliberately never stack:
+
+* the **batch orchestrator** (``repro.engine.batch``) fans whole
+  specifications over a per-call pool;
+* **pass sharding** (``REPRO_SHARD_PASSES``) fans the independent units
+  *inside* one decomposition over the persistent pool kept here — and
+  :func:`shard_workers` reports ``None`` inside daemonic pool workers, so a
+  spec already running under the orchestrator stays serial.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence
+
+#: Environment switch for sharding the independent units *inside* one
+#: decomposition.  ``1``/``true`` uses one worker per CPU; an integer > 1
+#: forces that worker count; unset/0 keeps the serial path, which is the
+#: bit-identical default.
+SHARD_ENV = "REPRO_SHARD_PASSES"
+
+_shard_pool_instance = None
+_shard_pool_size = 0
+
+
+def pool_context():
+    """The fork context where available (workers inherit nothing they need,
+    but fork is far cheaper than spawn for short-lived shard calls)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def shard_workers() -> Optional[int]:
+    """Worker count for pass sharding, or ``None`` when disabled.
+
+    Sharding is always disabled inside daemonic pool workers: a spec already
+    running under the batch orchestrator cannot fork a nested pool, so the
+    two parallelism levels compose by never stacking.
+    """
+    value = os.environ.get(SHARD_ENV, "").strip().lower()
+    if not value or value in ("0", "false", "no", "off"):
+        return None
+    if multiprocessing.current_process().daemon:
+        return None
+    try:
+        count = int(value)
+    except ValueError:
+        count = 0
+    if count > 1:
+        return count
+    return os.cpu_count() or 1
+
+
+def _close_shard_pool() -> None:
+    """Terminate the persistent pass-shard pool (atexit + test hygiene)."""
+    global _shard_pool_instance, _shard_pool_size
+    if _shard_pool_instance is not None:
+        _shard_pool_instance.terminate()
+        _shard_pool_instance.join()
+        _shard_pool_instance = None
+        _shard_pool_size = 0
+
+
+def _shard_pool(workers: int):
+    """A persistent fork pool reused across pass-shard calls.
+
+    Workers receive everything they need in the payload, so an old pool is
+    never stale; it is only rebuilt when the requested size changes.
+    """
+    global _shard_pool_instance, _shard_pool_size
+    if _shard_pool_instance is None or _shard_pool_size != workers:
+        _close_shard_pool()
+        _shard_pool_instance = pool_context().Pool(workers)
+        _shard_pool_size = workers
+        atexit.register(_close_shard_pool)
+    return _shard_pool_instance
+
+
+def shard_map(func: Callable, items: Sequence) -> list:
+    """Map ``func`` over ``items`` on the pass-shard pool (serial fallback).
+
+    Results come back in item order, so callers that pick "the first best"
+    are bit-identical to the serial loop.  With sharding disabled, one item,
+    or a single worker this *is* the serial loop.
+    """
+    items = list(items)
+    workers = shard_workers()
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    return _shard_pool(workers).map(func, items, chunksize=1)
+
+
+def shard_chunks(items: Sequence, parts: int) -> List[list]:
+    """Split ``items`` into at most ``parts`` contiguous, order-preserving runs."""
+    items = list(items)
+    if not items:
+        return []
+    parts = max(1, min(parts, len(items)))
+    size = (len(items) + parts - 1) // parts
+    return [items[i : i + size] for i in range(0, len(items), size)]

@@ -1,0 +1,333 @@
+"""Property tests for the whole-matrix sort/scan kernel layer.
+
+Three implementations of every split/scatter kernel must agree on arbitrary
+inputs:
+
+* the ``SetBackend`` reference (per-term loops over frozensets),
+* the old per-term packed path (kept as ``sortkernel._split_runs_python`` /
+  the small-input fallbacks), and
+* the new key-sort path (numpy, forced by dropping ``KERNEL_MIN_ROWS`` to 0).
+
+The construction kernels (``sort_terms``/``merge_disjoint``/``xor_merge``/
+``parity_merge``/``product_rows``) are checked against brute-force multiset
+semantics, the vectorised monomial vocabulary against the dict indexer, and
+the sharded ``find_group`` paths against their serial twins.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.anf import Anf, Context
+from repro.anf import sortkernel
+from repro.anf.backend import PackedBackend, SetBackend
+from repro.anf.expression import xor_accumulate
+from repro.anf.termmatrix import TermMatrix
+from repro.gf2.linear import MonomialIndexer, MonomialVocabulary
+from repro.gf2.vectorspace import find_linear_dependency
+
+terms_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 40) - 1), unique=True, max_size=80
+)
+mask_strategy = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+@pytest.fixture(params=["python", "numpy"])
+def kernel_mode(request, monkeypatch):
+    """Run each kernel property under both the fallback and the forced
+    numpy path (``KERNEL_MIN_ROWS = 0`` sends even tiny inputs through it)."""
+    if request.param == "numpy":
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+    else:
+        monkeypatch.setattr(sortkernel, "_np", None)
+    return request.param
+
+
+def _slab(terms):
+    return array(sortkernel.WORD_CODE, sorted(terms))
+
+
+class TestSplitKernel:
+    @given(terms=terms_strategy, group_mask=mask_strategy)
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_split_runs_match_reference(self, kernel_mode, terms, group_mask):
+        slab = _slab(terms)
+        runs, remainder = sortkernel.split_runs_by_group(slab, group_mask)
+        ref_runs, ref_remainder = sortkernel._split_runs_python(slab, group_mask)
+        assert sorted(remainder) == sorted(ref_remainder)
+        assert {p: sorted(r) for p, r in runs} == {
+            p: sorted(r) for p, r in ref_runs
+        }
+        # Born-sorted: every bucket (and the remainder) must ascend strictly.
+        for _, rows in runs:
+            assert list(rows) == sorted(set(rows))
+        assert list(remainder) == sorted(set(remainder))
+
+    @given(terms=terms_strategy)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_group_mask_zero_is_all_remainder(self, kernel_mode, terms):
+        runs, remainder = sortkernel.split_runs_by_group(_slab(terms), 0)
+        assert runs == []
+        assert sorted(remainder) == sorted(terms)
+
+    @given(terms=terms_strategy)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_all_bits_mask_buckets_every_term(self, kernel_mode, terms):
+        mask = (1 << 64) - 1
+        runs, remainder = sortkernel.split_runs_by_group(_slab(terms), mask)
+        assert sorted(remainder) == ([0] if 0 in terms else [])
+        assert sorted(p for p, _ in runs) == sorted(t for t in terms if t)
+        assert all(list(rows) == [0] for _, rows in runs)
+
+
+class TestBackendParityThreeWays:
+    """SetBackend vs old per-term packed path vs new key-sort path."""
+
+    @given(terms=terms_strategy, group_mask=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_split_by_group(self, monkeypatch, terms, group_mask):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        ctx = Context([f"v{i}" for i in range(8)])
+        expr = Anf(ctx, terms)
+        set_buckets, set_rem = SetBackend().split_by_group(expr, group_mask)
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        new_buckets, new_rem = PackedBackend().split_by_group(
+            Anf(ctx, terms), group_mask
+        )
+        assert set_rem.terms == new_rem.terms
+        assert {p: b.terms for p, b in set_buckets.items()} == {
+            p: b.terms for p, b in new_buckets.items()
+        }
+
+    @given(terms=terms_strategy, tags_mask=st.integers(min_value=0, max_value=(1 << 8) - 1))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_scatter_by_tags(self, monkeypatch, terms, tags_mask):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        ctx = Context([f"v{i}" for i in range(8)])
+        reference = SetBackend().scatter_by_tags(Anf(ctx, terms), tags_mask)
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        fast = PackedBackend().scatter_by_tags(Anf(ctx, terms), tags_mask)
+        assert {bit: comp.terms for bit, comp in reference.items()} == {
+            bit: comp.terms for bit, comp in fast.items()
+        }
+
+    def test_wide_terms_fall_back_to_set_path(self):
+        ctx = Context([f"w{i}" for i in range(70)])
+        wide = Anf(ctx, [1 << 69, (1 << 68) | (1 << 2), 5])
+        buckets, remainder = PackedBackend().split_by_group(wide, 0b100)
+        assert sorted(buckets) == [0b100]
+        assert set(buckets[0b100].terms) == {1 << 68, 1}
+        assert set(remainder.terms) == {1 << 69}
+        scattered = PackedBackend().scatter_by_tags(wide, 0b101)
+        reference = SetBackend().scatter_by_tags(wide, 0b101)
+        assert {b: c.terms for b, c in scattered.items()} == {
+            b: c.terms for b, c in reference.items()
+        }
+
+
+class TestConstructionKernels:
+    @given(terms=terms_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_sort_terms(self, kernel_mode, terms):
+        rows = sortkernel.sort_terms(frozenset(terms))
+        assert rows is not None and list(rows) == sorted(terms)
+
+    def test_sort_terms_declines_wide_rows(self, kernel_mode):
+        assert sortkernel.sort_terms([0, 1 << 64]) is None
+
+    @given(groups=st.lists(terms_strategy, max_size=4))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_merge_disjoint(self, kernel_mode, groups):
+        marked = [_slab({(t << 3) | i for t in group}) for i, group in enumerate(groups)]
+        union = set()
+        for slab in marked:
+            union |= set(slab)
+        assert list(sortkernel.merge_disjoint(marked)) == sorted(union)
+
+    @given(left=terms_strategy, right=terms_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_xor_merge(self, kernel_mode, left, right):
+        merged = sortkernel.xor_merge(_slab(left), _slab(right))
+        assert list(merged) == sorted(set(left) ^ set(right))
+
+    @given(slabs=st.lists(st.lists(st.integers(min_value=0, max_value=255), max_size=12), max_size=6))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_parity_merge(self, kernel_mode, slabs):
+        counts = {}
+        for slab in slabs:
+            for row in slab:
+                counts[row] = counts.get(row, 0) + 1
+        expected = sorted(r for r, c in counts.items() if c & 1)
+        got = sortkernel.parity_merge(
+            [array(sortkernel.WORD_CODE, slab) for slab in slabs]
+        )
+        assert sorted(got) == expected
+
+    @given(large=terms_strategy, small=st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                                               unique=True, min_size=1, max_size=8))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_product_rows(self, kernel_mode, large, small):
+        counts = {}
+        for t in small:
+            for r in large:
+                key = r | t
+                counts[key] = counts.get(key, 0) + 1
+        expected = sorted(r for r, c in counts.items() if c & 1)
+        got = sortkernel.product_rows(_slab(large), small)
+        assert list(got) == expected
+
+    @given(left=terms_strategy, right=terms_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_shared_literal_count(self, kernel_mode, left, right):
+        shared = set(left) & set(right)
+        expected = sum(r.bit_count() for r in shared)
+        assert sortkernel.shared_literal_count(_slab(left), _slab(right)) == expected
+
+    @given(terms=terms_strategy)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_support_fold_and_or_into_all(self, kernel_mode, terms):
+        slab = _slab(terms)
+        mask = 0
+        for t in terms:
+            mask |= t
+        assert sortkernel.support_fold(slab) == mask
+        disjoint = (1 << 41)
+        assert list(sortkernel.or_into_all(slab, disjoint)) == sorted(
+            t | disjoint for t in terms
+        )
+
+
+class TestExpressionAccumulation:
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=255), max_size=10), max_size=8))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_xor_accumulate_matches_fold(self, pieces_terms):
+        ctx = Context([f"v{i}" for i in range(8)])
+        pieces = [Anf(ctx, terms) for terms in pieces_terms]
+        folded = Anf.zero(ctx)
+        for piece in pieces:
+            folded = folded ^ piece
+        assert xor_accumulate(pieces, ctx).terms == folded.terms
+
+    @given(large_terms=terms_strategy, small_terms=st.lists(st.integers(min_value=0, max_value=(1 << 10) - 1),
+                                                           unique=True, min_size=1, max_size=6))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matrix_product_matches_set_product(self, monkeypatch, large_terms, small_terms):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        ctx = Context([f"v{i}" for i in range(41)])
+        reference = Anf(ctx, large_terms) & Anf(ctx, small_terms)
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        fast_large = Anf._from_matrix(ctx, TermMatrix.from_terms(large_terms))
+        fast = fast_large & Anf(ctx, small_terms)
+        assert fast.terms == reference.terms
+
+
+class TestMonomialVocabulary:
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                             unique=True, max_size=30), min_size=1, max_size=8))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_dependencies_match_indexer(self, exprs_terms):
+        ctx = Context([f"v{i}" for i in range(30)])
+        exprs = [Anf(ctx, terms) for terms in exprs_terms]
+        indexer, vocabulary = MonomialIndexer(), MonomialVocabulary()
+        by_indexer = find_linear_dependency([indexer.vector_of(e) for e in exprs])
+        by_vocabulary = find_linear_dependency([vocabulary.vector_of(e) for e in exprs])
+        assert by_indexer == by_vocabulary
+
+    @given(terms=st.lists(st.integers(min_value=0, max_value=(1 << 30) - 1),
+                          unique=True, max_size=40))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_equal_sets_equal_vectors(self, monkeypatch, terms):
+        monkeypatch.setattr(MonomialVocabulary, "BULK_MIN_TERMS", 1)
+        ctx = Context([f"v{i}" for i in range(30)])
+        vocabulary = MonomialVocabulary()
+        first = vocabulary.vector_of(Anf(ctx, terms))
+        # Same set again, scalar path this time — coordinates must agree.
+        monkeypatch.setattr(MonomialVocabulary, "BULK_MIN_TERMS", 10 ** 9)
+        second = vocabulary.vector_of(Anf(ctx, list(reversed(terms))))
+        assert first == second
+
+    def test_wide_monomials_share_the_id_space(self):
+        ctx = Context([f"w{i}" for i in range(70)])
+        vocabulary = MonomialVocabulary()
+        wide = Anf(ctx, [1 << 69, 5])
+        narrow = Anf(ctx, [5])
+        v_wide = vocabulary.vector_of(wide)
+        v_narrow = vocabulary.vector_of(narrow)
+        # XOR must cancel the shared monomial 5 exactly.
+        assert (v_wide ^ v_narrow).bit_count() == 1
+
+
+class TestShardedGrouping:
+    """REPRO_SHARD_PASSES must never change a result, only where it runs."""
+
+    @given(outputs_terms=st.lists(st.lists(st.integers(min_value=0, max_value=(1 << 10) - 1),
+                                           unique=True, max_size=20), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_find_group_parity(self, monkeypatch, outputs_terms):
+        from repro.core.grouping import find_group
+
+        ctx = Context([f"v{i}" for i in range(10)])
+        outputs = {f"o{i}": Anf(ctx, terms) for i, terms in enumerate(outputs_terms)}
+        inputs = [f"v{i}" for i in range(10)]
+        monkeypatch.delenv("REPRO_SHARD_PASSES", raising=False)
+        serial = find_group(outputs, 4, ctx, [], [inputs])
+        monkeypatch.setenv("REPRO_SHARD_PASSES", "2")
+        sharded = find_group(outputs, 4, ctx, [], [inputs])
+        assert serial == sharded
+
+    @given(outputs_terms=st.lists(st.lists(st.integers(min_value=0, max_value=(1 << 10) - 1),
+                                           unique=True, max_size=20), min_size=1, max_size=3))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_cooccurrence_parity(self, monkeypatch, outputs_terms):
+        from repro.core.grouping import _cooccurrence_group
+
+        ctx = Context([f"v{i}" for i in range(10)])
+        outputs = {f"o{i}": Anf(ctx, terms) for i, terms in enumerate(outputs_terms)}
+        candidates = [f"v{i}" for i in range(10)]
+        monkeypatch.delenv("REPRO_SHARD_PASSES", raising=False)
+        serial = _cooccurrence_group(outputs, candidates, ctx, 4)
+        monkeypatch.setenv("REPRO_SHARD_PASSES", "2")
+        sharded = _cooccurrence_group(outputs, candidates, ctx, 4)
+        assert serial == sharded
+
+    def test_sharding_disabled_inside_daemonic_workers(self, monkeypatch):
+        import multiprocessing
+
+        from repro.engine.batch import shard_workers
+
+        monkeypatch.setenv("REPRO_SHARD_PASSES", "1")
+        assert shard_workers() is not None
+        monkeypatch.setattr(
+            multiprocessing.current_process(), "_config", {"daemon": True}
+        )
+        assert shard_workers() is None
+
+    def test_sharded_decomposition_is_bit_identical(self, monkeypatch):
+        from repro.anf import majority, variables
+        from repro.core import DecompositionOptions, progressive_decomposition
+
+        results = {}
+        for mode in (None, "2"):
+            ctx = Context()
+            bits = variables(ctx, [f"x{i}" for i in range(9)])
+            outputs = {"maj": majority(bits, ctx), "parity": xor_accumulate(bits, ctx)}
+            if mode is None:
+                monkeypatch.delenv("REPRO_SHARD_PASSES", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_SHARD_PASSES", mode)
+            d = progressive_decomposition(
+                outputs, DecompositionOptions(), input_words=[[f"x{i}" for i in range(9)]]
+            )
+            assert d.verify()
+            results[mode] = (
+                [(b.name, sorted(b.definition.terms)) for b in d.blocks],
+                {p: sorted(e.terms) for p, e in d.outputs.items()},
+                [record.group for record in d.iterations],
+            )
+        assert results[None] == results["2"]
