@@ -9,10 +9,11 @@ Run with::
                                                           # ... and cached on disk
 
 ``--batch`` routes the Progressive Decomposition runs through the engine's
-batch orchestrator (one worker process per row); with ``--cache DIR`` the
-results persist, so re-running the table is near-free on the decomposition
-side.  The measured numbers (and the paper's reference values) are also
-recorded in EXPERIMENTS.md.
+batch orchestrator (one worker process per row); with ``--cache DIR`` both
+the decomposition results *and* the per-variant synthesis metrics persist
+(the latter under ``DIR/synth``), so re-running the table skips the engine
+and the synthesiser entirely.  The measured numbers (and the paper's
+reference values) are also recorded in EXPERIMENTS.md.
 """
 
 import argparse

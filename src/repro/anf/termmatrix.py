@@ -178,6 +178,20 @@ class TermMatrix:
         cleared = self.packed() & ~replicate(mask, len(self.words))
         return TermMatrix(_array_from_packed(cleared, len(self.words)))
 
+    def equal_rows(self, other: "TermMatrix") -> bool:
+        """True when both matrices hold the same rows (one C array compare).
+
+        Rows are sorted and distinct, so row equality is term-set equality.
+        Cached canonical keys are compared when both sides already have
+        them; otherwise the raw arrays compare element-wise at C speed
+        without materialising any bytes copy.
+        """
+        if len(self.words) != len(other.words):
+            return False
+        if self._key is not None and other._key is not None:
+            return self._key == other._key
+        return self.words == other.words
+
     def contains_all(self, mask: int) -> bool:
         """True when every row contains every bit of ``mask`` (one popcount)."""
         if not self.words:

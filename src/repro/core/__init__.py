@@ -26,10 +26,26 @@ from .optimize import improve_basis_by_size_reduction, minimize_basis_by_linear_
 from .pairs import Pair, PairList, initial_pairs, merge_equal_parts, merge_with_nullspaces
 from .rewrite import extract_tag_component, rewrite_identities, rewrite_outputs
 from .structure import HierarchyStats, block_table, decomposition_to_netlist, hierarchy_stats
+from .verify import (
+    VerificationError,
+    check_rewrite_invariant,
+    flatten_port_via_dag,
+    semantically_equal,
+    substitute_bits,
+    verify_decomposition,
+    verify_ports,
+)
 
 __all__ = [
     "BasisExtraction",
     "Block",
+    "VerificationError",
+    "check_rewrite_invariant",
+    "flatten_port_via_dag",
+    "semantically_equal",
+    "substitute_bits",
+    "verify_decomposition",
+    "verify_ports",
     "Decomposition",
     "DecompositionOptions",
     "HierarchyStats",

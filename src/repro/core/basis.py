@@ -78,13 +78,23 @@ def extract_basis(
     identities: Sequence[Anf],
     ctx: Context,
     use_nullspaces: bool = True,
+    combined: tuple[Anf, Dict[str, str]] | None = None,
 ) -> BasisExtraction:
-    """Run ``findBasis`` for the given group over a list of output expressions."""
+    """Run ``findBasis`` for the given group over a list of output expressions.
+
+    ``combined`` optionally supplies a precomputed ``(X, tag_of_port)``
+    from :func:`combine_with_tags` on the same outputs — the engine shares
+    one tagged combination per iteration between ``findGroup`` and
+    ``findBasis`` instead of rebuilding the giant expression twice.
+    """
     group = list(group)
     if not group:
         raise ValueError("findBasis needs a non-empty group")
     group_mask = ctx.mask_of(group)
-    combined, tag_of_port = combine_with_tags(outputs, ctx)
+    if combined is None:
+        combined, tag_of_port = combine_with_tags(outputs, ctx)
+    else:
+        combined, tag_of_port = combined
     nullspaces = NullSpaceTable.from_identities(ctx, identities)
     pair_list = initial_pairs(combined, group_mask, nullspaces)
     pair_list = merge_equal_parts(pair_list)

@@ -94,10 +94,17 @@ class Decomposition:
     options: DecompositionOptions
     primary_inputs: List[str]
     # Lazily built name -> block index backing block_by_name/_is_block; the
-    # linear scans they replaced were quadratic inside flatten().
+    # linear scans they replaced were quadratic inside flatten().  The token
+    # records which list object (and length) the index was built from.
     _blocks_by_name: Dict[str, Block] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    # The exact list object (kept alive, so its identity can never be
+    # recycled) and length the index was built from.
+    _blocks_indexed: List[Block] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _blocks_indexed_len: int = field(default=-1, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -108,13 +115,27 @@ class Decomposition:
         return [block for block in self.blocks if block.level == level]
 
     def _block_map(self) -> Dict[str, Block]:
-        # Staleness is detected by length only: the block list is built once
-        # by the engine and is append-only thereafter.  In-place replacement
-        # or renaming of existing entries is not a supported mutation.
+        # The index is rebuilt whenever the list object or its length
+        # changes; the supported mutations are appending and replacing the
+        # whole list.  Staleness is detected by identity against a *live*
+        # reference to the indexed list (a recycled id() could falsely
+        # match, a kept reference cannot) plus its length.  In-place
+        # replacement/renaming of existing entries keeps both stable, so
+        # the debug assertion below spot-checks the list ends — O(1) per
+        # lookup, so flatten()'s per-variable lookups stay linear — and
+        # fails loudly instead of silently serving a stale index.
         index = self._blocks_by_name
-        if len(index) != len(self.blocks):
+        blocks = self.blocks
+        if self._blocks_indexed is not blocks or self._blocks_indexed_len != len(blocks):
             index.clear()
-            index.update((block.name, block) for block in self.blocks)
+            index.update((block.name, block) for block in blocks)
+            self._blocks_indexed = blocks
+            self._blocks_indexed_len = len(blocks)
+        else:
+            assert not blocks or (
+                index.get(blocks[0].name) is blocks[0]
+                and index.get(blocks[-1].name) is blocks[-1]
+            ), "Decomposition.blocks was mutated in place (append-only contract)"
         return index
 
     def block_by_name(self, name: str) -> Block:
@@ -159,10 +180,23 @@ class Decomposition:
     def _is_block(self, name: str) -> bool:
         return name in self._block_map()
 
-    def verify(self) -> bool:
-        """True when the hierarchy reproduces the original specification exactly."""
-        flattened = self.flatten()
-        return all(flattened[port] == expr for port, expr in self.original.items())
+    def verify(self, method: str = "dag") -> bool:
+        """True when the hierarchy reproduces the original specification exactly.
+
+        ``method="dag"`` (the default) expands each port level-by-level
+        along the block DAG with packed intermediates and short-circuits on
+        the first mismatching port; ``method="flatten"`` is the original
+        whole-spec re-expansion, kept as the exact reference (the two always
+        return the same verdict — asserted by ``tests/test_verify.py``).
+        """
+        if method == "flatten":
+            flattened = self.flatten()
+            return all(flattened[port] == expr for port, expr in self.original.items())
+        if method != "dag":
+            raise ValueError(f"unknown verification method {method!r}")
+        from .verify import verify_decomposition
+
+        return verify_decomposition(self)
 
     # ------------------------------------------------------------------
     def total_block_literals(self) -> int:

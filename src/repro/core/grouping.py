@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from itertools import combinations
-from typing import Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from ..anf.context import Context
 from ..anf.expression import Anf
@@ -232,8 +232,15 @@ def find_group(
     primary_inputs: Sequence[str],
     input_words: Sequence[Sequence[str]],
     identities: Sequence[Anf] = (),
+    tagged_combination: Callable[[], tuple] | None = None,
 ) -> List[str]:
-    """Select the next group of (at most) ``k`` variables."""
+    """Select the next group of (at most) ``k`` variables.
+
+    ``tagged_combination`` optionally supplies a zero-argument callable
+    returning ``(combined, tag_of_port)`` for ``outputs`` (the engine's
+    per-iteration cache); it is only invoked when the exhaustive scoring
+    branch actually needs the combined expression.
+    """
     support = support_of_outputs(outputs, ctx)
     if not support:
         return []
@@ -254,7 +261,10 @@ def find_group(
         # per-subset scores are independent, so they shard over the pass pool
         # (REPRO_SHARD_PASSES=1); picking the first minimum in enumeration
         # order keeps the choice bit-identical to the serial scan.
-        combined, _ = combine_with_tags(outputs, ctx)
+        if tagged_combination is not None:
+            combined, _ = tagged_combination()
+        else:
+            combined, _ = combine_with_tags(outputs, ctx)
         combined_terms = combined.term_list()
         subsets = list(combinations(candidates, size))
         masks = [ctx.mask_of(subset) for subset in subsets]

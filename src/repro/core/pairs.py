@@ -94,6 +94,32 @@ def initial_pairs(expr: Anf, group_mask: int, nullspaces: NullSpaceTable) -> Pai
     return PairList(pairs, remainder)
 
 
+#: Smallest second (in terms) for which the fingerprint probe of
+#: ``merge_equal_parts`` beats hashing the canonical key directly.
+PROBE_MIN_TERMS = 1 << 14
+
+
+def _second_fingerprint(expr: Anf) -> tuple:
+    """Cheap exact invariant of a pair second's term set (probe mode only).
+
+    Equal term sets always fingerprint equal, so distinct fingerprints need
+    no canonical-key comparison.  The probe samples three rows of the
+    (built-on-demand, cached) sorted matrix — equal sets have identical
+    matrices, so sampled rows are set invariants.  Probing is enabled
+    uniformly per ``merge_equal_parts`` call, so one representation never
+    splits equal sets across fingerprint shapes; unpackable sets (which can
+    never equal a packable one) use the term count alone and degrade to the
+    full-key path on collision.
+    """
+    matrix = expr.term_matrix(build=True)
+    if matrix is not None:
+        words = matrix.words
+        if not words:
+            return (0,)
+        return (len(words), words[0], words[len(words) // 2], words[-1])
+    return (expr.num_terms,)
+
+
 def merge_equal_parts(pair_list: PairList) -> PairList:
     """Merge pairs sharing a first or a second element until a fixed point.
 
@@ -104,16 +130,42 @@ def merge_equal_parts(pair_list: PairList) -> PairList:
     # The seconds carry the giant term sets; the backend supplies an O(n/8)
     # canonical key (packed matrix bytes) instead of per-term frozenset
     # hashing.  Keys are equal exactly when the term sets are, so the merge
-    # decisions — and hence the results — are backend-independent.
-    second_key = get_backend().pair_key
+    # decisions — and hence the results — are backend-independent.  Before
+    # building (and hashing) a second's potentially megabytes-long
+    # canonical bytes, an O(1) probe fingerprint — term count plus three
+    # sampled rows of the sorted matrix — rules out non-equal sets: equal
+    # sets always fingerprint equal, so the full key is only needed within
+    # fingerprint collisions.
+    backend = get_backend()
+    second_key = backend.pair_key
+    # Probing only pays when the seconds are big enough that building and
+    # hashing their canonical bytes dominates; tiny pair lists keep the
+    # direct-key path (same decisions either way).
+    probe = backend.name == "packed" and any(
+        pair.second.num_terms >= PROBE_MIN_TERMS for pair in pairs
+    )
     changed = True
     while changed:
         changed = False
         # Merge pairs with equal second elements.
+        fingerprint_count: dict[tuple, int] = {}
+        fingerprints: list = []
+        if probe:
+            for pair in pairs:
+                fingerprint = _second_fingerprint(pair.second)
+                fingerprints.append(fingerprint)
+                fingerprint_count[fingerprint] = fingerprint_count.get(fingerprint, 0) + 1
+        else:
+            fingerprints = [None] * len(pairs)
         by_second: dict = {}
         merged: list[Pair] = []
-        for pair in pairs:
-            key = second_key(pair.second)
+        for pair, fingerprint in zip(pairs, fingerprints):
+            if fingerprint is None:
+                key = second_key(pair.second)
+            elif fingerprint_count[fingerprint] == 1:
+                key = fingerprint
+            else:
+                key = (fingerprint, second_key(pair.second))
             existing = by_second.get(key)
             if existing is None:
                 by_second[key] = pair

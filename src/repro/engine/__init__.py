@@ -22,9 +22,13 @@ from .batch import (
 )
 from .cache import (
     DecompositionCache,
+    SynthesisCache,
     cache_key,
+    decomposition_digest,
     deserialize_decomposition,
+    netlist_digest,
     serialize_decomposition,
+    synthesis_cache_key,
 )
 from .passes import (
     BasisExtractionPass,
@@ -55,12 +59,16 @@ __all__ = [
     "Pipeline",
     "RewritePass",
     "SizeReductionPass",
+    "SynthesisCache",
     "cache_key",
     "collecting_pass_timings",
     "decompose_cached",
+    "decomposition_digest",
     "deserialize_decomposition",
     "map_parallel",
+    "netlist_digest",
     "serialize_decomposition",
     "shard_map",
     "shard_workers",
+    "synthesis_cache_key",
 ]

@@ -1,13 +1,22 @@
-"""On-disk result cache for decomposition runs.
+"""On-disk result caches for decomposition and synthesis runs.
 
-Cache entries are keyed by ``sha256(spec digest + pipeline config)`` — the
-spec digest is the canonical, context-independent hash of the output
+Decomposition entries are keyed by ``sha256(spec digest + pipeline config)``
+— the spec digest is the canonical, context-independent hash of the output
 functions (:func:`repro.anf.canonical_spec_digest`) and the config key is the
 pipeline's exact pass configuration.  The stored value is a full JSON
 serialisation of the :class:`~repro.core.decompose.Decomposition`, including
 the per-iteration trace, so a warm cache reproduces the cold result exactly
 (modulo the identity of the ``Context`` object, which is rebuilt with the
 same variable ordering so all monomial bitmasks survive round-tripping).
+
+:class:`SynthesisCache` applies the same recipe to the synthesis stage of
+the evaluation flows: records are keyed by a canonical digest of the
+*design* being synthesised (a decomposition's structure, a specification's
+canonical spec digest, or a structural netlist) plus the synthesis
+parameters and a fingerprint of the cell library, and hold the metric
+surface of a :class:`~repro.synth.synthesize.SynthesisResult` (area, delay,
+cell and depth counts) — warm Table-1/figure re-runs skip technology mapping
+and timing entirely.
 
 Writes are atomic (tmp file + rename), so many orchestrator workers can
 share one cache directory without locking.
@@ -152,6 +161,21 @@ def deserialize_decomposition(data: dict) -> Decomposition:
     )
 
 
+def _atomic_json_dump(directory: Path, path: Path, data: dict) -> None:
+    """Write ``data`` as compact JSON via tmp-file + rename (crash-safe)."""
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, separators=(",", ":"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------------
 # The cache itself
 # ----------------------------------------------------------------------
@@ -219,18 +243,7 @@ class DecompositionCache:
 
     def store_raw(self, key: str, data: dict) -> None:
         """Atomically persist an already-serialised record."""
-        path = self._path(key)
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle, separators=(",", ":"))
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        _atomic_json_dump(self.root, self._path(key), data)
 
     # ------------------------------------------------------------------
     # Job index: fingerprint of (builder, args, config) -> content key.
@@ -276,6 +289,117 @@ class DecompositionCache:
             removed += 1
         for path in self.root.glob("index/*.key"):
             path.unlink()
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# Synthesis-result cache (the evaluation flows' warm path)
+# ----------------------------------------------------------------------
+SYNTH_SCHEMA = "repro-synthesis-v1"
+
+#: Metric fields every synthesis record must carry.
+SYNTH_METRIC_FIELDS = ("area", "delay", "cells", "depth")
+
+
+def decomposition_digest(decomposition) -> str:
+    """Canonical digest of the *structure* a decomposition hands to synthesis.
+
+    Hashes exactly what :func:`repro.core.structure.decomposition_to_netlist`
+    consumes — blocks (name, level, group, definition), outputs and primary
+    inputs — rendered through variable *names* (``to_str`` renders sorted
+    canonical terms), so the digest is context- and process-independent and
+    never touches the giant ``original`` expressions.
+    """
+    digest = hashlib.sha256()
+    for block in decomposition.blocks:
+        digest.update(
+            f"{block.name}@{block.level}[{','.join(block.group)}]"
+            f"={block.definition.to_str()}\n".encode("utf-8")
+        )
+    for port in sorted(decomposition.outputs):
+        digest.update(f"{port}={decomposition.outputs[port].to_str()}\n".encode("utf-8"))
+    digest.update("|".join(decomposition.primary_inputs).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def netlist_digest(netlist) -> str:
+    """Canonical digest of a structural netlist (inputs, gates, outputs)."""
+    digest = hashlib.sha256()
+    digest.update("|".join(netlist.inputs).encode("utf-8"))
+    for gate in netlist.gates:
+        digest.update(f"\n{gate.output}={gate.op}({','.join(gate.inputs)})".encode("utf-8"))
+    for port in sorted(netlist.outputs):
+        digest.update(f"\n{port}:{netlist.outputs[port]}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def library_fingerprint(library) -> str:
+    """Stable fingerprint of a cell library's timing/area model."""
+    cells = ";".join(
+        f"{cell.name}:{cell.op}/{cell.arity}:{cell.area}:{cell.delay}:{cell.load_delay}"
+        for _, cell in sorted(library.cells.items())
+    )
+    return hashlib.sha256(f"{library.name}|{cells}".encode("utf-8")).hexdigest()
+
+
+def synthesis_cache_key(design_digest: str, library_fp: str, params: dict) -> str:
+    """Combined cache key for (design, library, synthesis parameters)."""
+    rendered = "|".join(f"{key}={params[key]!r}" for key in sorted(params))
+    combined = (
+        f"{SYNTH_SCHEMA}\n{ENGINE_CACHE_EPOCH}\n{design_digest}\n{library_fp}\n{rendered}"
+    )
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()
+
+
+class SynthesisCache:
+    """Directory of ``<key>.json`` synthesis metric records.
+
+    Records hold the metric surface of a synthesis run (``area``, ``delay``,
+    ``cells``, ``depth`` plus the design name), not the mapped netlist:
+    everything the evaluation tables and figures read from a
+    :class:`~repro.eval.flows.FlowResult`, at a fraction of the bytes.
+    Corrupt or foreign records are treated as misses, exactly like
+    :class:`DecompositionCache`.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached metric record for ``key``, or ``None``."""
+        try:
+            with open(self._path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SYNTH_SCHEMA:
+            return None
+        for field_name in SYNTH_METRIC_FIELDS:
+            value = record.get(field_name)
+            # bool is an int subclass; a true/false metric is still corrupt.
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return None
+        return record
+
+    def store(self, key: str, metrics: dict) -> dict:
+        """Atomically persist a metric record; returns the stored record."""
+        record = {"schema": SYNTH_SCHEMA, **metrics}
+        _atomic_json_dump(self.root, self._path(key), record)
+        return record
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
         return removed
 
     def __len__(self) -> int:

@@ -25,7 +25,8 @@ out, not a flag threaded through a closed loop.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional
 
 from ..anf.expression import Anf
 from ..core.basis import extract_basis
@@ -35,7 +36,20 @@ from ..core.identities import find_identities, reduce_basis_using_identities
 from ..core.optimize import improve_basis_by_size_reduction, minimize_basis_by_linear_dependence
 from ..core.pairs import merge_with_nullspaces
 from ..core.rewrite import rewrite_identities, rewrite_outputs
+from ..core.verify import VerificationError, check_rewrite_invariant
 from .state import EngineState, total_literals
+
+#: Environment switch for the per-iteration rewrite gate: every rewrite step
+#: is checked to exactly reconstruct its pre-rewrite expressions (one-level
+#: DAG substitution), so a gated run's final decomposition verifies by
+#: induction.  The DAG verification engine made this cheap enough to leave
+#: on in production pipelines.
+VERIFY_STEPS_ENV = "REPRO_VERIFY_STEPS"
+
+
+def _verify_steps_default() -> bool:
+    value = os.environ.get(VERIFY_STEPS_ENV, "").strip().lower()
+    return bool(value) and value not in ("0", "false", "no", "off")
 
 
 class Pass:
@@ -73,6 +87,7 @@ class GroupingPass(Pass):
             group = find_group(
                 state.active, self.k, state.ctx,
                 state.primary_inputs, state.input_words, state.identities,
+                tagged_combination=state.tagged_combination,
             )
         if not group:
             group = support_of_outputs(state.active, state.ctx)
@@ -93,6 +108,7 @@ class BasisExtractionPass(Pass):
         state.extraction = extract_basis(
             state.active, state.group, state.identities, state.ctx,
             use_nullspaces=False,
+            combined=state.tagged_combination(),
         )
 
 
@@ -153,12 +169,25 @@ class IdentityAnalysisPass(Pass):
 
 
 class RewritePass(Pass):
-    """Create the blocks, rewrite the outputs, carry identities, record the trace."""
+    """Create the blocks, rewrite the outputs, carry identities, record the trace.
+
+    With ``verify_steps`` (default: the ``REPRO_VERIFY_STEPS`` environment
+    switch) every rewrite is gated: substituting the iteration's new block
+    definitions back into the rewritten outputs must reproduce the
+    pre-rewrite expressions exactly, else :class:`VerificationError` is
+    raised.  The gate cannot change any result — it is excluded from
+    ``params()`` so cache keys are unaffected.
+    """
 
     name = "rewrite"
 
-    def __init__(self, block_prefix: str = "t") -> None:
+    def __init__(
+        self, block_prefix: str = "t", verify_steps: Optional[bool] = None
+    ) -> None:
         self.block_prefix = block_prefix
+        self.verify_steps = (
+            _verify_steps_default() if verify_steps is None else verify_steps
+        )
 
     def params(self) -> Dict[str, object]:
         return {"block_prefix": self.block_prefix}
@@ -187,6 +216,15 @@ class RewritePass(Pass):
             block_names.append(name)
 
         rewritten = rewrite_outputs(state.extraction, substitutions, ctx)
+        if self.verify_steps:
+            mismatch = check_rewrite_invariant(
+                state.active, rewritten, new_blocks, ctx
+            )
+            if mismatch is not None:
+                raise VerificationError(
+                    f"rewrite step at level {state.level} does not reconstruct "
+                    f"port {mismatch!r} exactly"
+                )
         next_outputs = dict(state.current)
         next_outputs.update(rewritten)
 

@@ -16,6 +16,7 @@ circuit-level breakdown can run simultaneously).
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
@@ -38,6 +39,23 @@ def record(name: str, seconds: float) -> None:
         else:
             entry["seconds"] += seconds
             entry["calls"] += 1
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Record the wall-clock of a block under ``name``.
+
+    The hook for timings that happen *outside* the pass loop — the DAG
+    verification engine reports under ``"verify"`` (and the per-iteration
+    rewrite gate under ``"verify-steps"``) so ``run_bench.py --profile``
+    shows verification next to the passes.  With no collector installed the
+    overhead is two ``perf_counter`` reads.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record(name, time.perf_counter() - start)
 
 
 @contextmanager

@@ -64,6 +64,9 @@ class EngineState:
     identities_found: List[Identity] = field(default_factory=list)
     analysis: Optional[IdentityAnalysis] = None
     removed: Dict[str, Anf] = field(default_factory=dict)
+    _tagged_combination: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -114,6 +117,23 @@ class EngineState:
         self.identities_found = []
         self.analysis = None
         self.removed = {}
+        self._tagged_combination = None
+
+    def tagged_combination(self) -> tuple:
+        """``(combined, tag_of_port)`` for the active outputs, cached per iteration.
+
+        ``findGroup``'s exhaustive scoring and ``findBasis`` both combine
+        the same active outputs with the same tags; building the giant
+        tagged expression once per iteration (instead of once per consumer)
+        removes a full word-parallel tag-multiply + concat-sort over the
+        combined matrix from every exhaustive-group iteration.  Pure value
+        reuse — the consumers receive exactly what they would have built.
+        """
+        if self._tagged_combination is None:
+            from ..core.basis import combine_with_tags
+
+            self._tagged_combination = combine_with_tags(self.active, self.ctx)
+        return self._tagged_combination
 
     def basis_definitions(self) -> List[Anf]:
         """The current candidate basis (pair firsts of the extraction)."""

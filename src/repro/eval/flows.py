@@ -19,25 +19,95 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Union
 
+from ..anf.canonical import canonical_spec_digest
 from ..anf.expression import Anf
 from ..circuit.netlist import Netlist
 from ..core.decompose import Decomposition, DecompositionOptions
 from ..core.structure import decomposition_to_netlist
 from ..engine.batch import decompose_cached
-from ..engine.cache import DecompositionCache
+from ..engine.cache import (
+    DecompositionCache,
+    SynthesisCache,
+    decomposition_digest,
+    library_fingerprint,
+    netlist_digest,
+    synthesis_cache_key,
+)
 from ..synth.library import Library, default_library
 from ..synth.synthesize import SynthesisResult, synthesize_expressions, synthesize_netlist
 
 
 @dataclass
+class CachedSynthesis:
+    """A warm :class:`~repro.engine.cache.SynthesisCache` hit.
+
+    Carries the metric surface of a :class:`SynthesisResult` — everything
+    the tables and figures read — without the mapped netlist (which is what
+    the cache deliberately does not store).  Consumers needing the netlist
+    itself should run without a synthesis cache.
+    """
+
+    name: str
+    area: float
+    delay: float
+    num_cells: int
+    depth: int
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "area_um2": round(self.area, 1),
+            "delay_ns": round(self.delay, 3),
+            "cells": self.num_cells,
+            "depth": self.depth,
+        }
+
+
+AnySynthesis = Union[SynthesisResult, CachedSynthesis]
+
+
+def _synthesis_metrics(result: SynthesisResult) -> Dict[str, object]:
+    return {
+        "name": result.name,
+        "area": result.area,
+        "delay": result.delay,
+        "cells": result.num_cells,
+        "depth": result.depth,
+    }
+
+
+def _load_cached_synthesis(
+    cache: Optional[SynthesisCache], key: Optional[str]
+) -> Optional[CachedSynthesis]:
+    if cache is None or key is None:
+        return None
+    record = cache.load(key)
+    if record is None:
+        return None
+    return CachedSynthesis(
+        name=str(record.get("name", "")),
+        area=float(record["area"]),
+        delay=float(record["delay"]),
+        num_cells=int(record["cells"]),
+        depth=int(record["depth"]),
+    )
+
+
+@dataclass
 class FlowResult:
-    """One synthesised implementation of a benchmark."""
+    """One synthesised implementation of a benchmark.
+
+    ``synthesis`` is a full :class:`SynthesisResult` on a cold run and a
+    :class:`CachedSynthesis` (metrics only) on a synthesis-cache hit — the
+    metric surface (``area``/``delay``/``num_cells``/``depth``/``summary``)
+    is identical either way.
+    """
 
     label: str
     kind: str  # "unoptimised" | "progressive" | "manual"
-    synthesis: SynthesisResult
+    synthesis: AnySynthesis
     runtime_seconds: float
     decomposition: Optional[Decomposition] = None
     notes: Dict[str, object] = field(default_factory=dict)
@@ -70,10 +140,33 @@ def run_baseline_flow(
     strategy: str = "auto",
     shannon_order: Sequence[str] | None = None,
     objective: str = "balanced",
+    synthesis_cache: SynthesisCache | None = None,
 ) -> FlowResult:
-    """Synthesise a behavioural specification without restructuring it."""
+    """Synthesise a behavioural specification without restructuring it.
+
+    With a ``synthesis_cache``, the spec's canonical digest plus the
+    structuring parameters key a metric record; a warm hit skips
+    structuring, mapping and timing entirely.
+    """
     library = library or default_library()
     start = time.perf_counter()
+    key = None
+    if synthesis_cache is not None:
+        key = synthesis_cache_key(
+            canonical_spec_digest(outputs, None),
+            library_fingerprint(library),
+            {
+                "flow": "baseline",
+                "strategy": strategy,
+                "shannon_order": tuple(shannon_order) if shannon_order else None,
+                "objective": objective,
+            },
+        )
+    cached = _load_cached_synthesis(synthesis_cache, key)
+    if cached is not None:
+        flow = FlowResult(label, "unoptimised", cached, time.perf_counter() - start)
+        flow.notes["synthesis_cached"] = True
+        return flow
     result = synthesize_expressions(
         outputs,
         strategy=strategy,
@@ -82,6 +175,8 @@ def run_baseline_flow(
         shannon_order=shannon_order,
         objective=objective,
     )
+    if synthesis_cache is not None:
+        synthesis_cache.store(key, _synthesis_metrics(result))
     elapsed = time.perf_counter() - start
     return FlowResult(label, "unoptimised", result, elapsed)
 
@@ -91,11 +186,26 @@ def run_structural_flow(
     label: str,
     library: Library | None = None,
     kind: str = "manual",
+    synthesis_cache: SynthesisCache | None = None,
 ) -> FlowResult:
     """Synthesise a structural description (manual reference or naive structure)."""
     library = library or default_library()
     start = time.perf_counter()
+    key = None
+    if synthesis_cache is not None:
+        key = synthesis_cache_key(
+            netlist_digest(netlist),
+            library_fingerprint(library),
+            {"flow": "structural"},
+        )
+    cached = _load_cached_synthesis(synthesis_cache, key)
+    if cached is not None:
+        flow = FlowResult(label, kind, cached, time.perf_counter() - start)
+        flow.notes["synthesis_cached"] = True
+        return flow
     result = synthesize_netlist(netlist, library, name=label)
+    if synthesis_cache is not None:
+        synthesis_cache.store(key, _synthesis_metrics(result))
     elapsed = time.perf_counter() - start
     return FlowResult(label, kind, result, elapsed)
 
@@ -110,12 +220,16 @@ def run_progressive_flow(
     objective: str = "balanced",
     decomposition: Optional[Decomposition] = None,
     cache: DecompositionCache | None = None,
+    synthesis_cache: SynthesisCache | None = None,
 ) -> FlowResult:
     """Structure the specification with Progressive Decomposition, then synthesise.
 
     The decomposition runs through the pass-pipeline engine.  A precomputed
     ``decomposition`` (e.g. from the batch orchestrator) skips the engine
     entirely; otherwise an optional on-disk ``cache`` is consulted first.
+    With a ``synthesis_cache``, the decomposition's structural digest plus
+    the structuring parameters key a metric record, so a warm re-run skips
+    netlist building, mapping and timing as well.
     """
     library = library or default_library()
     start = time.perf_counter()
@@ -124,15 +238,35 @@ def run_progressive_flow(
         decomposition, cache_hit = decompose_cached(
             outputs, options, input_words=input_words, cache=cache
         )
-    netlist = decomposition_to_netlist(
-        decomposition, strategy=block_strategy, library=library, objective=objective
-    )
-    result = synthesize_netlist(netlist, library, name=label)
-    elapsed = time.perf_counter() - start
-    notes = {
+    notes: Dict[str, object] = {
         "blocks": len(decomposition.blocks),
         "levels": decomposition.num_levels,
     }
     if cache_hit:
         notes["decomposition_cached"] = True
+    key = None
+    if synthesis_cache is not None:
+        key = synthesis_cache_key(
+            decomposition_digest(decomposition),
+            library_fingerprint(library),
+            {
+                "flow": "progressive",
+                "block_strategy": block_strategy,
+                "objective": objective,
+            },
+        )
+    cached = _load_cached_synthesis(synthesis_cache, key)
+    if cached is not None:
+        notes["synthesis_cached"] = True
+        return FlowResult(
+            label, "progressive", cached, time.perf_counter() - start,
+            decomposition, notes,
+        )
+    netlist = decomposition_to_netlist(
+        decomposition, strategy=block_strategy, library=library, objective=objective
+    )
+    result = synthesize_netlist(netlist, library, name=label)
+    if synthesis_cache is not None:
+        synthesis_cache.store(key, _synthesis_metrics(result))
+    elapsed = time.perf_counter() - start
     return FlowResult(label, "progressive", result, elapsed, decomposition, notes)

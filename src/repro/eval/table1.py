@@ -13,6 +13,7 @@ roughly what factor, and where it merely matches the reference design.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -36,6 +37,7 @@ from ..benchcircuits import (
 )
 from ..core.decompose import Decomposition
 from ..engine.batch import BatchJob, BatchOrchestrator
+from ..engine.cache import SynthesisCache
 from ..synth.library import Library, default_library
 from .flows import FlowResult, run_baseline_flow, run_progressive_flow, run_structural_flow
 
@@ -124,6 +126,7 @@ def _progressive_variant(
     width: int,
     library: Library,
     pd_decomposition: Optional[Decomposition],
+    synthesis_cache: Optional[SynthesisCache] = None,
 ) -> FlowResult:
     """The Progressive Decomposition variant of a row whose spec feeds nothing else.
 
@@ -134,53 +137,64 @@ def _progressive_variant(
     if pd_decomposition is not None:
         return run_progressive_flow(
             {}, None, "Progressive Decomposition", library,
-            decomposition=pd_decomposition,
+            decomposition=pd_decomposition, synthesis_cache=synthesis_cache,
         )
     spec = spec_builder(width)
     return run_progressive_flow(
-        spec.outputs, spec.input_words, "Progressive Decomposition", library
+        spec.outputs, spec.input_words, "Progressive Decomposition", library,
+        synthesis_cache=synthesis_cache,
     )
 
 
 def row_lzd(width: int = 16, library: Library | None = None,
-            pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+            pd_decomposition: Optional[Decomposition] = None,
+            synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "16-bit LZD/LOD"."""
     library = library or default_library()
     spec = lzd_spec(width)
     variants = [
-        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
+        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library,
+                          synthesis_cache=synthesis_cache),
         run_progressive_flow(spec.outputs, spec.input_words,
                              "Progressive Decomposition", library,
-                             decomposition=pd_decomposition),
-        run_structural_flow(oklobdzija_lzd_netlist(width), "Oklobdzija (manual)", library),
+                             decomposition=pd_decomposition,
+                             synthesis_cache=synthesis_cache),
+        run_structural_flow(oklobdzija_lzd_netlist(width), "Oklobdzija (manual)", library,
+                            synthesis_cache=synthesis_cache),
     ]
     return Table1Row(f"{width}-bit LZD/LOD", variants, PAPER_TABLE1.get("16-bit LZD/LOD", {}))
 
 
 def row_lod(width: int = 32, library: Library | None = None,
-            pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+            pd_decomposition: Optional[Decomposition] = None,
+            synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "32-bit LOD"."""
     library = library or default_library()
     spec = lod_spec(width)
     variants = [
-        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
+        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library,
+                          synthesis_cache=synthesis_cache),
         run_progressive_flow(spec.outputs, spec.input_words,
                              "Progressive Decomposition", library,
-                             decomposition=pd_decomposition),
+                             decomposition=pd_decomposition,
+                             synthesis_cache=synthesis_cache),
     ]
     return Table1Row(f"{width}-bit LOD", variants, PAPER_TABLE1.get("32-bit LOD", {}))
 
 
 def row_majority(width: int = 15, library: Library | None = None,
-                 pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+                 pd_decomposition: Optional[Decomposition] = None,
+                 synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "15-bit Majority function"."""
     library = library or default_library()
     spec = majority_spec(width)
     variants = [
-        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library),
+        run_baseline_flow(spec.outputs, "Unoptimised (SOP)", library,
+                          synthesis_cache=synthesis_cache),
         run_progressive_flow(spec.outputs, spec.input_words,
                              "Progressive Decomposition", library,
-                             decomposition=pd_decomposition),
+                             decomposition=pd_decomposition,
+                             synthesis_cache=synthesis_cache),
     ]
     return Table1Row(
         f"{width}-bit Majority function", variants,
@@ -189,21 +203,26 @@ def row_majority(width: int = 15, library: Library | None = None,
 
 
 def row_counter(width: int = 16, library: Library | None = None,
-                pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+                pd_decomposition: Optional[Decomposition] = None,
+                synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "16-bit Counter"."""
     library = library or default_library()
     variants = [
         run_structural_flow(adder_chain_counter_netlist(width),
-                            "Unoptimised (using adder tree)", library, kind="unoptimised"),
-        _progressive_variant(counter_spec, width, library, pd_decomposition),
-        run_structural_flow(compressor_tree_counter_netlist(width), "TGA", library),
+                            "Unoptimised (using adder tree)", library, kind="unoptimised",
+                            synthesis_cache=synthesis_cache),
+        _progressive_variant(counter_spec, width, library, pd_decomposition,
+                             synthesis_cache=synthesis_cache),
+        run_structural_flow(compressor_tree_counter_netlist(width), "TGA", library,
+                            synthesis_cache=synthesis_cache),
     ]
     return Table1Row(f"{width}-bit Counter", variants, PAPER_TABLE1.get("16-bit Counter", {}))
 
 
 def row_adder(width: int = 16, library: Library | None = None,
               pd_width: Optional[int] = None,
-              pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+              pd_decomposition: Optional[Decomposition] = None,
+              synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "16-bit Adder".
 
     ``pd_width`` lets callers run Progressive Decomposition at a narrower
@@ -214,9 +233,12 @@ def row_adder(width: int = 16, library: Library | None = None,
     pd_width = pd_width or width
     variants = [
         run_structural_flow(ripple_carry_adder_netlist(width),
-                            "Unoptimised (Ripple Carry Adder)", library, kind="unoptimised"),
-        _progressive_variant(adder_spec, pd_width, library, pd_decomposition),
-        run_structural_flow(carry_lookahead_adder_netlist(width), "DesignWare (CLA)", library),
+                            "Unoptimised (Ripple Carry Adder)", library, kind="unoptimised",
+                            synthesis_cache=synthesis_cache),
+        _progressive_variant(adder_spec, pd_width, library, pd_decomposition,
+                             synthesis_cache=synthesis_cache),
+        run_structural_flow(carry_lookahead_adder_netlist(width), "DesignWare (CLA)", library,
+                            synthesis_cache=synthesis_cache),
     ]
     notes = ""
     if pd_width != width:
@@ -225,33 +247,42 @@ def row_adder(width: int = 16, library: Library | None = None,
 
 
 def row_comparator(width: int = 15, library: Library | None = None,
-                   pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+                   pd_decomposition: Optional[Decomposition] = None,
+                   synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "15-bit Comparator"."""
     library = library or default_library()
     variants = [
         run_structural_flow(progressive_comparator_netlist(width),
-                            "Unoptimised (progressive comparator)", library, kind="unoptimised"),
-        _progressive_variant(comparator_spec, width, library, pd_decomposition),
+                            "Unoptimised (progressive comparator)", library, kind="unoptimised",
+                            synthesis_cache=synthesis_cache),
+        _progressive_variant(comparator_spec, width, library, pd_decomposition,
+                             synthesis_cache=synthesis_cache),
         run_structural_flow(subtracter_carry_comparator_netlist(width),
-                            "Carry out of Subtracter", library),
+                            "Carry out of Subtracter", library,
+                            synthesis_cache=synthesis_cache),
     ]
     return Table1Row(f"{width}-bit Comparator", variants,
                      PAPER_TABLE1.get("15-bit Comparator", {}))
 
 
 def row_three_input_adder(width: int = 8, library: Library | None = None,
-                          pd_decomposition: Optional[Decomposition] = None) -> Table1Row:
+                          pd_decomposition: Optional[Decomposition] = None,
+                          synthesis_cache: Optional[SynthesisCache] = None) -> Table1Row:
     """Table 1 row "12-bit Three-Input Adder" (default width reduced, see DESIGN.md)."""
     library = library or default_library()
     spec = three_input_adder_spec(width)
     variants = [
-        run_baseline_flow(spec.outputs, "Unoptimised (A + B + C)", library),
+        run_baseline_flow(spec.outputs, "Unoptimised (A + B + C)", library,
+                          synthesis_cache=synthesis_cache),
         run_structural_flow(cascaded_rca_netlist(width), "RCA(RCA(A, B), C)",
-                            library, kind="manual"),
+                            library, kind="manual",
+                            synthesis_cache=synthesis_cache),
         run_progressive_flow(spec.outputs, spec.input_words,
                              "Progressive Decomposition", library,
-                             decomposition=pd_decomposition),
-        run_structural_flow(csa_adder_netlist(width), "CSA + Adder", library),
+                             decomposition=pd_decomposition,
+                             synthesis_cache=synthesis_cache),
+        run_structural_flow(csa_adder_netlist(width), "CSA + Adder", library,
+                            synthesis_cache=synthesis_cache),
     ]
     notes = ""
     if width != 12:
@@ -313,31 +344,41 @@ def _build_row(
     library: Library,
     quick: bool,
     pd_decomposition: Optional[Decomposition] = None,
+    synthesis_cache: Optional[SynthesisCache] = None,
 ) -> Table1Row:
     builder = ROW_BUILDERS[name]
     width = ROW_WIDTHS[name][0][0 if quick else 1]
     pd_width = pd_width_for_row(name, quick)
     if pd_width != width:
         return builder(
-            width, library, pd_width=pd_width, pd_decomposition=pd_decomposition
+            width, library, pd_width=pd_width, pd_decomposition=pd_decomposition,
+            synthesis_cache=synthesis_cache,
         )
-    return builder(width, library, pd_decomposition=pd_decomposition)
+    return builder(
+        width, library, pd_decomposition=pd_decomposition,
+        synthesis_cache=synthesis_cache,
+    )
 
 
 def build_table1(
     library: Library | None = None,
     quick: bool = False,
     rows: Sequence[str] | None = None,
+    synthesis_cache: SynthesisCache | None = None,
 ) -> List[Table1Row]:
     """Build every requested row of Table 1 sequentially.
 
     ``quick`` selects reduced widths so the whole table regenerates in a few
     minutes of pure-Python runtime; the full widths follow the paper except
-    where DESIGN.md documents a substitution.
+    where DESIGN.md documents a substitution.  A ``synthesis_cache`` lets
+    warm re-runs skip the technology-mapping/timing stage of every variant.
     """
     library = library or default_library()
     selected = list(rows) if rows is not None else list(ROW_BUILDERS)
-    return [_build_row(name, library, quick) for name in selected]
+    return [
+        _build_row(name, library, quick, synthesis_cache=synthesis_cache)
+        for name in selected
+    ]
 
 
 def build_table1_batch(
@@ -347,6 +388,7 @@ def build_table1_batch(
     cache_dir: str | None = None,
     processes: int | None = None,
     orchestrator: BatchOrchestrator | None = None,
+    synthesis_cache: SynthesisCache | None = None,
 ) -> List[Table1Row]:
     """Build Table 1 with the decompositions run by the batch orchestrator.
 
@@ -354,11 +396,16 @@ def build_table1_batch(
     — run concurrently in worker processes, and with a ``cache_dir`` their
     results persist on disk so repeated table builds skip the engine
     entirely.  The rows themselves (structural variants, synthesis) are then
-    assembled in-process exactly as :func:`build_table1` does.
+    assembled in-process exactly as :func:`build_table1` does; with a
+    ``cache_dir`` the synthesis results are cached too (under
+    ``<cache_dir>/synth`` unless an explicit ``synthesis_cache`` is given),
+    so a fully warm table build skips both the engine and the synthesiser.
     """
     library = library or default_library()
     selected = list(rows) if rows is not None else list(ROW_BUILDERS)
     orchestrator = orchestrator or BatchOrchestrator(cache_dir, processes)
+    if synthesis_cache is None and cache_dir is not None:
+        synthesis_cache = SynthesisCache(os.path.join(cache_dir, "synth"))
     jobs = [
         BatchJob(name, PD_SPEC_BUILDERS[name], (pd_width_for_row(name, quick),))
         for name in selected
@@ -367,7 +414,10 @@ def build_table1_batch(
     table: List[Table1Row] = []
     for name in selected:
         outcome = results[name]
-        row = _build_row(name, library, quick, pd_decomposition=outcome.decomposition)
+        row = _build_row(
+            name, library, quick, pd_decomposition=outcome.decomposition,
+            synthesis_cache=synthesis_cache,
+        )
         # run_progressive_flow only timed netlist + synthesis (the engine ran
         # in the orchestrator); fold the worker-side seconds back into the
         # row so runtime_s stays comparable with sequential builds.

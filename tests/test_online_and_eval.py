@@ -75,6 +75,98 @@ class TestFlows:
         assert "area_um2" in flow.summary()
 
 
+class TestSynthesisCache:
+    @staticmethod
+    def _metrics(flow):
+        return (
+            round(flow.area, 6),
+            round(flow.delay, 6),
+            flow.synthesis.num_cells,
+            flow.synthesis.depth,
+        )
+
+    def test_progressive_flow_warm_hit(self, tmp_path):
+        from repro.engine import SynthesisCache
+
+        cache = SynthesisCache(tmp_path)
+        spec = majority_spec(7)
+        cold = run_progressive_flow(
+            spec.outputs, spec.input_words, "pd", synthesis_cache=cache
+        )
+        assert "synthesis_cached" not in cold.notes
+        assert len(cache) == 1
+        warm = run_progressive_flow(
+            spec.outputs, spec.input_words, "pd", synthesis_cache=cache
+        )
+        assert warm.notes.get("synthesis_cached") is True
+        assert self._metrics(warm) == self._metrics(cold)
+        assert warm.summary()["area_um2"] == cold.summary()["area_um2"]
+
+    def test_baseline_and_structural_flows_warm_hit(self, tmp_path):
+        from repro.benchcircuits import ripple_carry_adder_netlist
+        from repro.engine import SynthesisCache
+
+        cache = SynthesisCache(tmp_path)
+        spec = majority_spec(7)
+        cold = run_baseline_flow(spec.outputs, "base", synthesis_cache=cache)
+        warm = run_baseline_flow(spec.outputs, "base", synthesis_cache=cache)
+        assert warm.notes.get("synthesis_cached") is True
+        assert self._metrics(warm) == self._metrics(cold)
+        netlist = ripple_carry_adder_netlist(4)
+        cold = run_structural_flow(netlist, "rca4", synthesis_cache=cache)
+        warm = run_structural_flow(netlist, "rca4", synthesis_cache=cache)
+        assert warm.notes.get("synthesis_cached") is True
+        assert self._metrics(warm) == self._metrics(cold)
+
+    def test_parameters_key_separate_records(self, tmp_path):
+        from repro.engine import SynthesisCache
+
+        cache = SynthesisCache(tmp_path)
+        spec = majority_spec(7)
+        run_progressive_flow(
+            spec.outputs, spec.input_words, "pd", synthesis_cache=cache
+        )
+        run_progressive_flow(
+            spec.outputs, spec.input_words, "pd", objective="delay",
+            synthesis_cache=cache,
+        )
+        assert len(cache) == 2
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            "{not json",
+            '{"schema": "repro-synthesis-v1", "area": null, '
+            '"delay": 1, "cells": 1, "depth": 1}',
+            '{"schema": "repro-synthesis-v1", "area": "3.0", '
+            '"delay": 1, "cells": 1, "depth": 1}',
+        ],
+        ids=["invalid-json", "null-metric", "string-metric"],
+    )
+    def test_corrupt_record_is_a_miss(self, tmp_path, corruption):
+        from repro.engine import SynthesisCache
+
+        cache = SynthesisCache(tmp_path)
+        spec = majority_spec(7)
+        run_baseline_flow(spec.outputs, "base", synthesis_cache=cache)
+        (record_path,) = tmp_path.glob("*.json")
+        record_path.write_text(corruption)
+        redone = run_baseline_flow(spec.outputs, "base", synthesis_cache=cache)
+        assert "synthesis_cached" not in redone.notes
+        assert redone.synthesis.num_cells > 0
+
+    def test_build_table1_threads_the_cache(self, tmp_path):
+        from repro.engine import SynthesisCache
+
+        cache = SynthesisCache(tmp_path)
+        cold = build_table1(quick=True, rows=["majority"], synthesis_cache=cache)
+        warm = build_table1(quick=True, rows=["majority"], synthesis_cache=cache)
+        for cold_row, warm_row in zip(cold, warm):
+            for cold_variant, warm_variant in zip(cold_row.variants, warm_row.variants):
+                assert warm_variant.notes.get("synthesis_cached") is True
+                assert self._metrics(warm_variant) == self._metrics(cold_variant)
+
+
 class TestTable1:
     def test_paper_reference_values_present(self):
         assert len(PAPER_TABLE1) == 7

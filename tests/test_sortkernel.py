@@ -83,6 +83,74 @@ class TestSplitKernel:
         assert all(list(rows) == [0] for _, rows in runs)
 
 
+class TestRadixSplit:
+    """The counting/radix bucketing vs the stable argsort it replaced."""
+
+    # Literal bound (== sortkernel.RADIX_MAX_GROUP_BITS): the strategy must
+    # not read the module attribute, which one test monkeypatches.
+    narrow_mask = st.integers(min_value=1, max_value=(1 << 40) - 1).filter(
+        lambda m: m.bit_count() <= 6
+    )
+
+    @given(terms=terms_strategy, group_mask=narrow_mask)
+    @settings(max_examples=60)
+    def test_radix_matches_python_reference(self, terms, group_mask):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        slab = _slab(terms)
+        runs, remainder = sortkernel._split_runs_radix(
+            slab, sortkernel._mask_bit_positions(group_mask)
+        )
+        ref_runs, ref_remainder = sortkernel._split_runs_python(slab, group_mask)
+        assert list(remainder) == sorted(ref_remainder)
+        assert dict(runs) == {p: array(sortkernel.WORD_CODE, sorted(r))
+                              for p, r in ref_runs}
+        # Buckets come out in ascending group-part order, born-sorted.
+        assert [p for p, _ in runs] == sorted(p for p, _ in runs)
+        for _, rows in runs:
+            assert list(rows) == sorted(set(rows))
+
+    @given(terms=terms_strategy, group_mask=narrow_mask)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_radix_matches_argsort_path(self, monkeypatch, terms, group_mask):
+        """Same inputs through the dispatcher's two vectorised paths."""
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        slab = _slab(terms)
+        radix = sortkernel.split_runs_by_group(slab, group_mask)
+        # Forcing the width guard to 0 sends the same call down the argsort
+        # branch; both paths must emit identical bucket lists (order included).
+        # Scoped patch: hypothesis reruns this body many times per fixture.
+        with monkeypatch.context() as scoped:
+            scoped.setattr(sortkernel, "RADIX_MAX_GROUP_BITS", 0)
+            argsort = sortkernel.split_runs_by_group(slab, group_mask)
+        assert list(radix[1]) == list(argsort[1])
+        assert [(p, list(r)) for p, r in radix[0]] == [
+            (p, list(r)) for p, r in argsort[0]
+        ]
+
+    def test_wide_masks_keep_the_argsort_path(self, monkeypatch):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        wide_mask = sum(1 << i for i in range(sortkernel.RADIX_MAX_GROUP_BITS + 2))
+        terms = list(range(1, 600))
+        runs, remainder = sortkernel.split_runs_by_group(_slab(terms), wide_mask)
+        ref_runs, ref_remainder = sortkernel._split_runs_python(_slab(terms), wide_mask)
+        assert list(remainder) == sorted(ref_remainder)
+        assert dict(runs) == {p: array(sortkernel.WORD_CODE, sorted(r))
+                              for p, r in ref_runs}
+
+    def test_all_rows_groupless_returns_input_slab(self, monkeypatch):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        slab = _slab([2, 4, 6])
+        runs, remainder = sortkernel.split_runs_by_group(slab, 1)
+        assert runs == [] and remainder is slab
+
+
 class TestBackendParityThreeWays:
     """SetBackend vs old per-term packed path vs new key-sort path."""
 
