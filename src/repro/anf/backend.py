@@ -85,6 +85,17 @@ class SetBackend:
         return None
 
     # ------------------------------------------------------------------
+    def split_tagged(
+        self, items: Sequence[Tuple[int, Anf]], group_mask: int, ctx: Context
+    ) -> Optional[Tuple[Dict[int, Anf], Anf]]:
+        """Fused ``split_by_group(combine_tagged(items))`` — or ``None``.
+
+        ``None`` means "no fused path" — the caller combines then splits in
+        two steps.  The set backend always declines.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     def scatter_by_tags(self, expr: Anf, tags_mask: int) -> Dict[int, Anf]:
         """Split ``expr`` into per-tag components in a single traversal.
 
@@ -124,6 +135,13 @@ class SetBackend:
     # ------------------------------------------------------------------
     def prepare_outputs(self, outputs) -> None:
         """Hook run once per decomposition on the specification outputs."""
+
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Hook run when this backend becomes the active one."""
+
+    def deactivate(self) -> None:
+        """Hook run when this backend stops being the active one."""
 
 
 class PackedBackend(SetBackend):
@@ -173,6 +191,36 @@ class PackedBackend(SetBackend):
                 return None
             tagged.append(matrix.or_all(bit))
         return Anf._from_matrix(ctx, concat_sorted(tagged))
+
+    # ------------------------------------------------------------------
+    def split_tagged(
+        self, items: Sequence[Tuple[int, Anf]], group_mask: int, ctx: Context
+    ) -> Optional[Tuple[Dict[int, Anf], Anf]]:
+        # Fused split→build: per port, bucket the rows by group part, strip
+        # the group bits and OR the tag in one kernel pass — the buckets come
+        # out as the next iteration's sorted matrices with no intermediate
+        # combined slab.  Preconditions mirror ``combine_tagged`` exactly
+        # (fresh disjoint single-bit tags), plus the group mask must not
+        # collide with the tags; any violation declines to the two-step path.
+        bits_union = 0
+        for bit, _ in items:
+            bits_union |= bit
+        if group_mask & bits_union:
+            return None
+        slabs: List[Tuple[int, "array"]] = []
+        for bit, expr in items:
+            if bit >= TERM_LIMIT:
+                return None
+            matrix = expr.term_matrix(build=True)
+            if matrix is None or (expr.support_mask & bits_union):
+                return None
+            slabs.append((bit, matrix.words))
+        runs, remainder = sortkernel.split_build_by_group(slabs, group_mask)
+        buckets = {
+            group_part: Anf._from_matrix(ctx, TermMatrix.from_sorted(rest))
+            for group_part, rest in runs
+        }
+        return buckets, Anf._from_matrix(ctx, TermMatrix.from_sorted(remainder))
 
     # ------------------------------------------------------------------
     def scatter_by_tags(self, expr: Anf, tags_mask: int) -> Dict[int, Anf]:
@@ -228,9 +276,33 @@ class PackedBackend(SetBackend):
             expr.term_matrix(build=True)
 
 
+class ThreadedBackend(PackedBackend):
+    """Packed kernels with whole-slab primitives chunked across threads.
+
+    Identical representation and semantics to :class:`PackedBackend`; the
+    only difference is that, while active, the module-level kernel functions
+    in :mod:`repro.anf.sortkernel` dispatch to
+    :mod:`repro.anf.nativekernel`, which partitions large slabs across a
+    ``ThreadPoolExecutor`` (numpy releases the GIL inside each chunk) and
+    recombines the pieces with deterministic ordered merges — so results
+    stay bit-identical to the serial kernels at any thread count.
+    """
+
+    name = "threaded"
+
+    def activate(self) -> None:
+        from . import nativekernel
+
+        sortkernel.set_parallel(nativekernel)
+
+    def deactivate(self) -> None:
+        sortkernel.set_parallel(None)
+
+
 _BACKENDS: Dict[str, SetBackend] = {
     SetBackend.name: SetBackend(),
     PackedBackend.name: PackedBackend(),
+    ThreadedBackend.name: ThreadedBackend(),
 }
 
 
@@ -245,6 +317,7 @@ def _initial_backend() -> SetBackend:
 
 
 _active = _initial_backend()
+_active.activate()
 
 
 def get_backend() -> SetBackend:
@@ -253,15 +326,19 @@ def get_backend() -> SetBackend:
 
 
 def set_backend(name: str) -> SetBackend:
-    """Activate a backend by name (``"set"`` or ``"packed"``)."""
+    """Activate a backend by name (``"set"``, ``"packed"`` or ``"threaded"``)."""
     global _active
     try:
-        _active = _BACKENDS[name]
+        chosen = _BACKENDS[name]
     except KeyError:
         raise ValueError(
             f"unknown term backend {name!r} "
             f"(expected one of: {', '.join(sorted(_BACKENDS))})"
         ) from None
+    if chosen is not _active:
+        _active.deactivate()
+        _active = chosen
+        chosen.activate()
     return _active
 
 

@@ -53,6 +53,7 @@ round-trips exceeds the per-term loop it replaces.
 
 from __future__ import annotations
 
+import os
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -61,9 +62,25 @@ try:  # pragma: no cover - exercised implicitly by every kernel call
 except ImportError:  # pragma: no cover - the container bakes numpy in
     _np = None
 
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    """An integer tunable from the environment (malformed values keep the
+    default, values below ``minimum`` are clamped)."""
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        return default
+    return max(minimum, parsed)
+
+
 #: Row count below which the per-term Python paths win (array round-trip
-#: costs dominate); measured on the quick-width sweep.
-KERNEL_MIN_ROWS = 1024
+#: costs dominate); measured on the quick-width sweep.  Tunable via
+#: ``REPRO_KERNEL_MIN_ROWS`` (0 forces the vector kernels everywhere — the
+#: parity suite's forced-numpy mode).
+KERNEL_MIN_ROWS = _env_int("REPRO_KERNEL_MIN_ROWS", 1024)
 
 #: Rows are 64-bit; masks are clipped to the row width before vectorising
 #: (a variable with index >= 64 cannot occur in any packable term, so
@@ -73,10 +90,30 @@ ROW_MASK = (1 << 64) - 1
 WORD_CODE = "Q"
 
 #: Group masks with at most this many set bits take the counting/radix
-#: bucketing path of :func:`split_runs_by_group` (≤ 64 buckets; one masked
-#: selection per *present* bucket).  Wider masks — only the full-group stall
-#: fallback produces them — keep the stable composite-key argsort.
-RADIX_MAX_GROUP_BITS = 6
+#: bucketing path of :func:`split_runs_by_group` (≤ 64 buckets).  Wider
+#: masks — only the full-group stall fallback produces them — keep the
+#: stable composite-key argsort.  Tunable via ``REPRO_RADIX_MAX_GROUP_BITS``.
+RADIX_MAX_GROUP_BITS = _env_int("REPRO_RADIX_MAX_GROUP_BITS", 6, minimum=1)
+
+#: With at least this many occupied buckets (including the remainder) the
+#: radix split switches from one masked selection per bucket to a single
+#: stable argsort of the compressed ``uint8`` key plus one gather: per-bucket
+#: selection costs two whole-slab passes per bucket, the argsort-and-slice a
+#: fixed ~4, so the crossover sits at a handful of buckets (measured ~1.8x
+#: on the comparator's 16-bucket 14.3 M-row split).
+RADIX_ARGSORT_MIN_BUCKETS = 4
+
+#: When the ``threaded`` backend is active this holds the chunking module
+#: (:mod:`repro.anf.nativekernel`); the public kernels below dispatch to it
+#: so *every* caller — backends and module-level users such as
+#: ``xor_accumulate`` alike — runs chunked.  ``None`` keeps the serial path.
+_parallel = None
+
+
+def set_parallel(module) -> None:
+    """Install (or clear, with ``None``) the chunked-execution module."""
+    global _parallel
+    _parallel = module
 
 
 def available() -> bool:
@@ -126,19 +163,83 @@ def split_runs_by_group(
     composite-key argsort, which is order-equivalent: both preserve the
     input (ascending) order within a bucket, so every slice is canonical.
     """
+    par = _parallel
+    if par is not None:
+        return par.split_runs_by_group(words, group_mask)
+    return _split_runs_serial(words, group_mask)
+
+
+def split_build_by_group(
+    tagged_slabs: Sequence[Tuple[int, array]], group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    """Fused tag-multiply + combine + split: the engine's ``findBasis`` feed.
+
+    ``tagged_slabs`` is a sequence of ``(tag_mask, rows)`` — one sorted slab
+    per output port plus the fresh tag bit that marks it.  The result equals
+    splitting ``merge_disjoint([rows_i | tag_i])`` by ``group_mask``, but is
+    computed in one pass per slab: each bucket row is emitted directly as
+    ``(row ^ group_part) | tag``, so the combined expression — the largest
+    allocation of the old pipeline — never materialises, and the per-bucket
+    cross-slab merges degenerate to boundary-checked concatenations (tags
+    are allocated in ascending order, so slab ``i``'s rows all sort below
+    slab ``i+1``'s once the tags are ORed in).
+
+    Preconditions (the backend seam checks them before calling): every tag
+    is a fresh single bit disjoint from its slab's support, from every other
+    tag, and from ``group_mask``.
+    """
+    par = _parallel
+    if par is not None:
+        return par.split_build_by_group(tagged_slabs, group_mask)
+    return _split_build_serial(tagged_slabs, group_mask)
+
+
+def _split_build_serial(
+    tagged_slabs: Sequence[Tuple[int, array]], group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    per_bucket: Dict[int, List[array]] = {}
+    rest_parts: List[array] = []
+    for tag, words in tagged_slabs:
+        if not len(words):
+            continue
+        buckets, rest = _split_runs_serial(words, group_mask, or_mask=tag)
+        for part, rows in buckets:
+            pieces = per_bucket.get(part)
+            if pieces is None:
+                per_bucket[part] = pieces = []
+            pieces.append(rows)
+        if len(rest):
+            rest_parts.append(rest)
+    merged = [
+        (part, merge_disjoint(per_bucket[part])) for part in sorted(per_bucket)
+    ]
+    return merged, merge_disjoint(rest_parts) if rest_parts else array(WORD_CODE)
+
+
+def _split_runs_serial(
+    words: array, group_mask: int, or_mask: int = 0
+) -> Tuple[List[Tuple[int, array]], array]:
+    """The serial split kernel; ``or_mask`` is ORed into every emitted row.
+
+    ``or_mask`` (the fused path's tag bit) must be disjoint from the slab's
+    support and from ``group_mask``, so ORing it preserves the ascending
+    order of every bucket and of the remainder.
+    """
     if _np is None or len(words) < KERNEL_MIN_ROWS:
-        return _split_runs_python(words, group_mask)
+        return _split_runs_python(words, group_mask, or_mask)
     mask = group_mask & ROW_MASK
     bit_positions = _mask_bit_positions(mask)
     if 0 < len(bit_positions) <= RADIX_MAX_GROUP_BITS:
-        return _split_runs_radix(words, bit_positions)
+        return _split_runs_radix(words, bit_positions, or_mask)
     rows = _as_u64(words)
     gpart = rows & _np.uint64(mask)
     if not gpart.any():
-        return [], words
+        return [], or_into_all(words, or_mask) if or_mask else words
     order = _np.argsort(gpart, kind="stable")
     sorted_g = gpart[order]
     sorted_rest = (rows ^ gpart)[order]
+    if or_mask:
+        sorted_rest |= _np.uint64(or_mask & ROW_MASK)
     edges = _np.flatnonzero(sorted_g[1:] != sorted_g[:-1]) + 1
     starts = [0, *edges.tolist()]
     ends = [*edges.tolist(), len(rows)]
@@ -179,7 +280,7 @@ def _bit_runs(bit_positions: List[int]) -> List[Tuple[int, int]]:
 
 
 def _split_runs_radix(
-    words: array, bit_positions: List[int]
+    words: array, bit_positions: List[int], or_mask: int = 0
 ) -> Tuple[List[Tuple[int, array]], array]:
     """Counting split on a ≤``RADIX_MAX_GROUP_BITS``-bit key space.
 
@@ -187,19 +288,23 @@ def _split_runs_radix(
     shift-and-mask per *run* of consecutive group bits, and the compression
     is monotone (ascending bit positions map to ascending key bits), so
     ascending keys enumerate ascending group parts.  One ``bincount`` sizes
-    all buckets, then each present bucket is one stable masked selection
-    with the shared group part cleared in place: a handful of sequential
-    byte-wide passes instead of the 64-bit O(n log n) comparison sort this
-    replaced, and — as important on cold slabs — roughly a third of its
-    allocation footprint (no index permutation, no gathered copy).
-    Stability keeps each bucket's rows in input (ascending) order, so every
-    bucket is born canonical.
+    all buckets; then the rows are gathered bucket-by-bucket along one of
+    two equivalent routes:
+
+    * few occupied buckets — one stable masked selection per bucket (two
+      whole-slab passes each, no index permutation);
+    * :data:`RADIX_ARGSORT_MIN_BUCKETS` or more — one stable ``argsort`` of
+      the byte-wide key plus a single gather, after which every bucket is a
+      contiguous slice (fixed number of passes regardless of bucket count).
+
+    Both routes preserve the input (ascending) order within a bucket —
+    stability of the masked selection and of the argsort respectively — so
+    every bucket is born canonical and the results are bit-identical.
     """
     rows = _as_u64(words)
     runs = _bit_runs(bit_positions)
     key = _np.empty(len(rows), dtype=_np.uint8)
     scratch = _np.empty(len(rows), dtype=_np.uint8)
-    mask_buffer = _np.empty(len(rows), dtype=bool)
     out = 0
     for start, length in runs:
         packed = (rows >> _np.uint64(start - out)) & _np.uint64(((1 << length) - 1) << out)
@@ -211,7 +316,7 @@ def _split_runs_radix(
         out += length
     counts = _np.bincount(key, minlength=1 << len(bit_positions))
     if len(counts) == 1 or not counts[1:].any():
-        return [], words
+        return [], or_into_all(words, or_mask) if or_mask else words
 
     def expand(compressed: int) -> int:
         part = 0
@@ -221,22 +326,47 @@ def _split_runs_radix(
             offset += length
         return part
 
-    remainder = array(WORD_CODE)
-    if counts[0]:
-        _np.equal(key, 0, out=mask_buffer)
-        remainder = _to_words(rows[mask_buffer])
+    # ``row ^ (part | tag)`` strips the group part *and* marks the tag in one
+    # pass: every row of a bucket contains all of ``part``, no row contains
+    # the (fresh) tag bit, and the two masks are disjoint — so the XOR equals
+    # clear-then-OR without the second whole-slab sweep of the fused path.
+    present = _np.flatnonzero(counts).tolist()
     buckets: List[Tuple[int, array]] = []
-    for compressed in (_np.flatnonzero(counts[1:]) + 1).tolist():
-        part = expand(compressed)
+    remainder = array(WORD_CODE)
+    if len(present) >= RADIX_ARGSORT_MIN_BUCKETS:
+        order = _np.argsort(key, kind="stable")
+        gathered = rows[order]
+        bounds = _np.cumsum(counts).tolist()
+        for compressed in present:
+            hi = bounds[compressed]
+            lo = hi - int(counts[compressed])
+            selected = gathered[lo:hi]
+            part = expand(compressed) if compressed else 0
+            strip = part | or_mask
+            if strip:
+                selected ^= _np.uint64(strip)
+            if compressed == 0:
+                remainder = _to_words(selected)
+            else:
+                buckets.append((part, _to_words(selected)))
+        return buckets, remainder
+    mask_buffer = _np.empty(len(rows), dtype=bool)
+    for compressed in present:
         _np.equal(key, compressed, out=mask_buffer)
         selected = rows[mask_buffer]
-        selected ^= _np.uint64(part)
-        buckets.append((part, _to_words(selected)))
+        part = expand(compressed) if compressed else 0
+        strip = part | or_mask
+        if strip:
+            selected ^= _np.uint64(strip)
+        if compressed == 0:
+            remainder = _to_words(selected)
+        else:
+            buckets.append((part, _to_words(selected)))
     return buckets, remainder
 
 
 def _split_runs_python(
-    words: Sequence[int], group_mask: int
+    words: Sequence[int], group_mask: int, or_mask: int = 0
 ) -> Tuple[List[Tuple[int, array]], array]:
     """Per-term reference split (also the numpy-less fallback)."""
     buckets: Dict[int, List[int]] = {}
@@ -246,15 +376,38 @@ def _split_runs_python(
     for term in words:
         group_part = term & group_mask
         if group_part == 0:
-            remainder_append(term)
+            remainder_append(term | or_mask)
         else:
             rows = bucket_get(group_part)
             if rows is None:
                 buckets[group_part] = rows = []
-            rows.append(term ^ group_part)
+            rows.append((term ^ group_part) | or_mask)
     return (
         [(part, array(WORD_CODE, rest)) for part, rest in buckets.items()],
         array(WORD_CODE, remainder),
+    )
+
+
+def _split_build_python(
+    tagged_slabs: Sequence[Tuple[int, Sequence[int]]], group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    """Per-term reference of the fused split (parity oracle for the tests)."""
+    per_bucket: Dict[int, List[int]] = {}
+    rest: List[int] = []
+    for tag, words in tagged_slabs:
+        for term in words:
+            group_part = term & group_mask
+            row = (term ^ group_part) | tag
+            if group_part == 0:
+                rest.append(row)
+            else:
+                rows = per_bucket.get(group_part)
+                if rows is None:
+                    per_bucket[group_part] = rows = []
+                rows.append(row)
+    return (
+        [(part, array(WORD_CODE, sorted(per_bucket[part]))) for part in sorted(per_bucket)],
+        array(WORD_CODE, sorted(rest)),
     )
 
 
@@ -264,6 +417,13 @@ def scatter_tag(words: array, bit: int) -> array:
     Rows that all contain a common bit keep their relative order when it is
     cleared, so the selection is born sorted.
     """
+    par = _parallel
+    if par is not None:
+        return par.scatter_tag(words, bit)
+    return _scatter_tag_serial(words, bit)
+
+
+def _scatter_tag_serial(words: array, bit: int) -> array:
     if bit > ROW_MASK:
         return array(WORD_CODE)
     if _np is None or len(words) < KERNEL_MIN_ROWS:
@@ -300,20 +460,35 @@ def sort_terms(terms: Iterable[int], count: Optional[int] = None) -> Optional[ar
 
 
 def merge_disjoint(slabs: Sequence[array]) -> array:
-    """Union of pairwise-disjoint sorted slabs, re-sorted into one slab."""
+    """Union of pairwise-disjoint sorted slabs, re-sorted into one slab.
+
+    The slabs are first ordered by their smallest row (a permutation cannot
+    change the sorted union); when every boundary then ascends —
+    ``max(slab_i) < min(slab_i+1)`` — the concatenation *is* the union and
+    the sort is skipped entirely.  That O(k) check turns the hot merges of
+    the engine into plain memcpys: tag-combined port slabs and the rewrite's
+    marker-tagged pieces are each dominated by one fresh high bit, so their
+    row ranges never interleave.
+    """
     alive = [s for s in slabs if len(s)]
     if not alive:
         return array(WORD_CODE)
     if len(alive) == 1:
         return alive[0]
+    alive.sort(key=lambda s: s[0])
+    ordered = all(
+        alive[i][-1] < alive[i + 1][0] for i in range(len(alive) - 1)
+    )
     total = sum(len(s) for s in alive)
-    if _np is None or total < KERNEL_MIN_ROWS:
+    if ordered or _np is None or total < KERNEL_MIN_ROWS:
         merged = array(WORD_CODE)
         for s in alive:
             merged.extend(s)
-        rows = merged.tolist()
-        rows.sort()
-        return array(WORD_CODE, rows)
+        if not ordered:
+            rows = merged.tolist()
+            rows.sort()
+            merged = array(WORD_CODE, rows)
+        return merged
     merged = _np.concatenate([_as_u64(s) for s in alive])
     merged.sort(kind="stable")
     return _to_words(merged)
@@ -325,6 +500,13 @@ def xor_merge(left: array, right: array) -> array:
     Each operand holds distinct rows, so a shared row occurs exactly twice in
     the concatenation and the adjacent duplicates cancel.
     """
+    par = _parallel
+    if par is not None:
+        return par.xor_merge(left, right)
+    return _xor_merge_serial(left, right)
+
+
+def _xor_merge_serial(left: array, right: array) -> array:
     if not len(left):
         return right
     if not len(right):
@@ -367,6 +549,13 @@ def parity_merge(slabs: Sequence[array]) -> array:
     or duplicate-free (product slabs ``rows | term`` are neither when the
     term overlaps the support), so even a single slab is swept.
     """
+    par = _parallel
+    if par is not None:
+        return par.parity_merge(slabs)
+    return _parity_merge_serial(slabs)
+
+
+def _parity_merge_serial(slabs: Sequence[array]) -> array:
     alive = [s for s in slabs if len(s)]
     if not alive:
         return array(WORD_CODE)
@@ -406,6 +595,13 @@ def product_rows(large: array, small_terms: Sequence[int]) -> array:
     slab memory for products where both operands are large; the halves are
     themselves canonical, so they recombine with a run-friendly stable sort.
     """
+    par = _parallel
+    if par is not None:
+        return par.product_rows(large, small_terms)
+    return _product_rows_serial(large, small_terms)
+
+
+def _product_rows_serial(large: array, small_terms: Sequence[int]) -> array:
     if _np is None or len(large) * len(small_terms) < KERNEL_MIN_ROWS:
         counts: Dict[int, int] = {}
         for term in small_terms:
@@ -468,13 +664,20 @@ def support_fold(words: array) -> int:
 
 def shared_literal_count(left: array, right: array) -> int:
     """Total set bits over the rows present in both sorted slabs."""
+    par = _parallel
+    if par is not None:
+        return par.shared_literal_count(left, right)
+    return _shared_literal_count_serial(left, right)
+
+
+def _shared_literal_count_serial(left: array, right: array) -> int:
     if (
         _np is None
         or min(len(left), len(right)) == 0
         or len(left) + len(right) < KERNEL_MIN_ROWS
     ):
         shared = frozenset(left) & frozenset(right)
-        return sum(row.bit_count() for row in shared)
+        return sum(int(row).bit_count() for row in shared)
     small, large = (left, right) if len(left) <= len(right) else (right, left)
     small_rows = _as_u64(small)
     large_rows = _as_u64(large)
@@ -484,3 +687,38 @@ def shared_literal_count(left: array, right: array) -> int:
     # Popcount of the concatenated row bytes == sum of per-row popcounts
     # (works on every numpy, unlike np.bitwise_count which needs >= 2.0).
     return int.from_bytes(small_rows[hits].tobytes(), "little").bit_count()
+
+
+def popcount_rows(words: array) -> int:
+    """Total set bits over a row slab (the literal count of a matrix).
+
+    One vectorised ``bitwise_count`` + sum on numpy >= 2.0; a single
+    big-integer popcount of the raw bytes otherwise.  Replaces the packed
+    big-integer construction that used to dominate the engine's
+    ``literal_count`` queries on multi-million-row slabs.
+    """
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        if isinstance(words, array):
+            return int.from_bytes(words.tobytes(), "little").bit_count()
+        return sum(int(row).bit_count() for row in words)
+    rows = _as_u64(words)
+    if hasattr(_np, "bitwise_count"):
+        return int(_np.bitwise_count(rows).sum(dtype=_np.int64))
+    return int.from_bytes(rows.tobytes(), "little").bit_count()
+
+
+def clear_bits_all(words: array, mask: int) -> array:
+    """``row & ~mask`` for every row; ascending whenever every row contains
+    all of ``mask`` (the caller's precondition — tag stripping)."""
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        return array(WORD_CODE, [t & ~mask for t in words])
+    return _to_words(_as_u64(words) & _np.uint64(~mask & ROW_MASK))
+
+
+def rows_contain_all(words: array, mask: int) -> bool:
+    """True when every row contains every bit of ``mask`` (one vector pass)."""
+    if _np is None or len(words) < KERNEL_MIN_ROWS:
+        return all(t & mask == mask for t in words)
+    m = _np.uint64(mask & ROW_MASK)
+    rows = _as_u64(words)
+    return bool(((rows & m) == m).all())

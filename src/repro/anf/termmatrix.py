@@ -118,8 +118,15 @@ class TermMatrix:
         return value
 
     def literal_count(self) -> int:
-        """Total set bits over all rows — one C popcount of the packed view."""
-        return self.packed().bit_count()
+        """Total set bits over all rows — one vectorised (or big-int) popcount.
+
+        Reuses the packed big integer when it is already cached, but never
+        *builds* it for this query: on multi-million-row slabs the packed
+        construction costs more than the count itself.
+        """
+        if self._packed is not None:
+            return self._packed.bit_count()
+        return sortkernel.popcount_rows(self.words)
 
     def support_mask(self) -> int:
         """OR of every row (one vector fold; big-integer halving fallback)."""
@@ -175,6 +182,8 @@ class TermMatrix:
         """
         if not self.words:
             return self
+        if sortkernel.available() and len(self.words) >= sortkernel.KERNEL_MIN_ROWS:
+            return TermMatrix(sortkernel.clear_bits_all(self.words, mask))
         cleared = self.packed() & ~replicate(mask, len(self.words))
         return TermMatrix(_array_from_packed(cleared, len(self.words)))
 
@@ -200,6 +209,8 @@ class TermMatrix:
             return True
         if mask >= TERM_LIMIT or mask < 0:
             return False
+        if sortkernel.available() and len(self.words) >= sortkernel.KERNEL_MIN_ROWS:
+            return sortkernel.rows_contain_all(self.words, mask)
         selected = self.packed() & replicate(mask, len(self.words))
         return selected.bit_count() == mask.bit_count() * len(self.words)
 

@@ -16,7 +16,13 @@ from ..anf.backend import get_backend
 from ..anf.context import Context
 from ..anf.expression import Anf
 from .nullspace import NullSpaceTable
-from .pairs import PairList, initial_pairs, merge_equal_parts, merge_with_nullspaces
+from .pairs import (
+    PairList,
+    initial_pairs,
+    merge_equal_parts,
+    merge_with_nullspaces,
+    pairs_from_buckets,
+)
 
 TAG_PREFIX = "_K_"
 
@@ -46,13 +52,14 @@ def tag_name_for(port: str) -> str:
     return f"{TAG_PREFIX}{port}"
 
 
-def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Dict[str, str]]:
-    """Build ``X = XOR_port K_port · P_port`` with one fresh tag per port.
+def _tag_items(
+    outputs: Mapping[str, Anf], ctx: Context
+) -> tuple[list[tuple[int, Anf]], Dict[str, str]]:
+    """Allocate (or re-find) one fresh tag variable per output port.
 
-    The packed backend performs the whole combination word-parallel: each tag
-    product ORs one fresh bit into every term of a port's matrix, and the
-    per-port results are pairwise disjoint (each is marked by its own tag
-    bit), so their XOR is a concatenation.
+    ``ctx.add_var`` is idempotent, so calling this again on the same outputs
+    returns the same bits — the fused and two-step paths below evolve the
+    context identically.
     """
     tag_of_port: Dict[str, str] = {}
     items: list[tuple[int, Anf]] = []
@@ -61,6 +68,18 @@ def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Di
         tag = tag_name_for(port)
         tag_of_port[port] = tag
         items.append((1 << ctx.add_var(tag), expr))
+    return items, tag_of_port
+
+
+def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Dict[str, str]]:
+    """Build ``X = XOR_port K_port · P_port`` with one fresh tag per port.
+
+    The packed backend performs the whole combination word-parallel: each tag
+    product ORs one fresh bit into every term of a port's matrix, and the
+    per-port results are pairwise disjoint (each is marked by its own tag
+    bit), so their XOR is a concatenation.
+    """
+    items, tag_of_port = _tag_items(outputs, ctx)
     fast = get_backend().combine_tagged(items, ctx)
     if fast is not None:
         return fast, tag_of_port
@@ -72,6 +91,29 @@ def combine_with_tags(outputs: Mapping[str, Anf], ctx: Context) -> tuple[Anf, Di
     return combined, tag_of_port
 
 
+def split_with_tags(
+    outputs: Mapping[str, Anf], group_mask: int, ctx: Context
+) -> tuple[Dict[int, Anf], Anf, Dict[str, str]]:
+    """``split_by_group(combine_with_tags(outputs))`` without the middle man.
+
+    On backends with a fused split→build kernel the tagged combination —
+    the largest slab the old pipeline ever allocated — never materialises:
+    each port's matrix is bucketed, group-stripped and tag-marked in one
+    pass, and the buckets come out as the next iteration's sorted matrices.
+    Backends without the kernel (or inputs violating its preconditions)
+    fall back to the two-step combine-then-split, which is definitionally
+    the same result.
+    """
+    items, tag_of_port = _tag_items(outputs, ctx)
+    fused = get_backend().split_tagged(items, group_mask, ctx)
+    if fused is not None:
+        buckets, remainder = fused
+        return buckets, remainder, tag_of_port
+    combined, tag_of_port = combine_with_tags(outputs, ctx)
+    buckets, remainder = combined.split_by_group(group_mask)
+    return buckets, remainder, tag_of_port
+
+
 def extract_basis(
     outputs: Mapping[str, Anf],
     group: Sequence[str],
@@ -79,6 +121,7 @@ def extract_basis(
     ctx: Context,
     use_nullspaces: bool = True,
     combined: tuple[Anf, Dict[str, str]] | None = None,
+    pre_split: tuple[Dict[int, Anf], Anf, Dict[str, str]] | None = None,
 ) -> BasisExtraction:
     """Run ``findBasis`` for the given group over a list of output expressions.
 
@@ -86,11 +129,30 @@ def extract_basis(
     from :func:`combine_with_tags` on the same outputs — the engine shares
     one tagged combination per iteration between ``findGroup`` and
     ``findBasis`` instead of rebuilding the giant expression twice.
+    ``pre_split`` goes one step further: a ``(buckets, remainder,
+    tag_of_port)`` triple from :func:`split_with_tags`, letting the fused
+    split→build kernel feed the pair list without the combination ever
+    existing.
     """
     group = list(group)
     if not group:
         raise ValueError("findBasis needs a non-empty group")
     group_mask = ctx.mask_of(group)
+    if pre_split is not None:
+        buckets, remainder, tag_of_port = pre_split
+        nullspaces = NullSpaceTable.from_identities(ctx, identities)
+        pair_list = pairs_from_buckets(ctx, buckets, remainder, nullspaces)
+        pair_list = merge_equal_parts(pair_list)
+        if use_nullspaces:
+            pair_list = merge_with_nullspaces(pair_list)
+        return BasisExtraction(
+            group=group,
+            group_mask=group_mask,
+            ports=list(outputs),
+            tag_of_port=tag_of_port,
+            pair_list=pair_list,
+            nullspaces=nullspaces,
+        )
     if combined is None:
         combined, tag_of_port = combine_with_tags(outputs, ctx)
     else:

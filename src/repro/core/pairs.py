@@ -86,9 +86,19 @@ def initial_pairs(expr: Anf, group_mask: int, nullspaces: NullSpaceTable) -> Pai
     first family of merges (pairs with identical first elements).
     """
     buckets, remainder = expr.split_by_group(group_mask)
+    return pairs_from_buckets(expr.ctx, buckets, remainder, nullspaces)
+
+
+def pairs_from_buckets(ctx, buckets, remainder: Anf, nullspaces: NullSpaceTable) -> PairList:
+    """Build the initial pair list from an already-bucketed split.
+
+    ``buckets`` maps each non-zero group part to its second element — exactly
+    what ``split_by_group`` produces, and what the fused split→build kernel
+    emits directly without materialising the combined expression first.
+    """
     pairs = []
     for group_part in sorted(buckets, key=lambda mask: (mask.bit_count(), mask)):
-        first = Anf._raw(expr.ctx, frozenset({group_part}))
+        first = Anf._raw(ctx, frozenset({group_part}))
         second = buckets[group_part]
         pairs.append(Pair(first, second, nullspaces.generator_for_monomial(group_part)))
     return PairList(pairs, remainder)

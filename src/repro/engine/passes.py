@@ -105,10 +105,14 @@ class BasisExtractionPass(Pass):
     name = "basis"
 
     def run(self, state: EngineState) -> None:
+        # The fused split→build path: bucket the active outputs directly
+        # (the tagged combination only materialises if this iteration's
+        # grouping already built it for exhaustive candidate scoring).
+        group_mask = state.ctx.mask_of(state.group)
         state.extraction = extract_basis(
             state.active, state.group, state.identities, state.ctx,
             use_nullspaces=False,
-            combined=state.tagged_combination(),
+            pre_split=state.tagged_split(group_mask),
         )
 
 

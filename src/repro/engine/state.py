@@ -135,6 +135,24 @@ class EngineState:
             self._tagged_combination = combine_with_tags(self.active, self.ctx)
         return self._tagged_combination
 
+    def tagged_split(self, group_mask: int) -> tuple:
+        """``(buckets, remainder, tag_of_port)`` of the tagged combination.
+
+        When the iteration already built the combined expression (the
+        exhaustive-grouping path caches it for its candidate scoring), it is
+        split directly — value reuse, same as :meth:`tagged_combination`.
+        Otherwise the fused split→build kernel buckets the active outputs
+        without ever materialising the combination (the primary-input
+        grouping path, i.e. every iteration of the paper's benchmarks).
+        """
+        if self._tagged_combination is not None:
+            combined, tag_of_port = self._tagged_combination
+            buckets, remainder = combined.split_by_group(group_mask)
+            return buckets, remainder, tag_of_port
+        from ..core.basis import split_with_tags
+
+        return split_with_tags(self.active, group_mask, self.ctx)
+
     def basis_definitions(self) -> List[Anf]:
         """The current candidate basis (pair firsts of the extraction)."""
         if self.extraction is None:

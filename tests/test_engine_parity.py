@@ -105,7 +105,7 @@ def _twin_adder(width):
     return specs
 
 
-BACKENDS = ("set", "packed")
+BACKENDS = ("set", "packed", "threaded")
 
 
 class TestAblationParity:

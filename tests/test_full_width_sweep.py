@@ -11,10 +11,13 @@ seconds (its flat Reed-Muller form runs to millions of monomials); it is
 only included when ``REPRO_FULL_SWEEP=all``.  Set ``REPRO_FULL_SWEEP=0`` to
 skip the sweep entirely (e.g. on very constrained machines).
 
-The sweep deliberately runs against a throwaway per-test cache: the result
-cache is keyed by (spec, pipeline config), not by code version, so a
-persistent warm cache would return pre-regression results and defeat the
-gate.  Parallel workers keep the cold run in the "seconds" budget.
+The sweep runs through the session-scoped ``bench_cache_dir`` fixture (see
+``conftest.py``): by default that is a throwaway per-session directory —
+the result cache is keyed by (spec, pipeline config), not by code version,
+so a cache persisting across *revisions* would return pre-regression
+results and defeat the gate — but CI may point ``REPRO_TEST_CACHE_DIR`` at
+a per-commit directory so a warm rerun of the same code skips the
+re-derivation.  Parallel workers keep the cold run in the "seconds" budget.
 """
 
 import json
@@ -34,7 +37,7 @@ SLOW_CIRCUITS = ("comparator",)
 
 
 @pytest.mark.skipif(SWEEP_MODE == "0", reason="REPRO_FULL_SWEEP=0 disables the sweep")
-def test_full_width_sweep_matches_committed_expectations(tmp_path):
+def test_full_width_sweep_matches_committed_expectations(bench_cache_dir):
     expected = json.loads(EXPECTED_PATH.read_text())["circuits"]
     selected = [
         name for name in expected
@@ -42,7 +45,7 @@ def test_full_width_sweep_matches_committed_expectations(tmp_path):
     ]
     assert selected, "expectation file is empty"
 
-    orchestrator = BatchOrchestrator(tmp_path)
+    orchestrator = BatchOrchestrator(bench_cache_dir / "decompositions")
     results = orchestrator.run([
         BatchJob(name, PD_SPEC_BUILDERS[name], (expected[name]["width"],))
         for name in selected

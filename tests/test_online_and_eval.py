@@ -172,10 +172,10 @@ class TestTable1:
         assert len(PAPER_TABLE1) == 7
         assert PAPER_TABLE1["16-bit Adder"]["DesignWare"].area_um2 == pytest.approx(1375.5)
 
-    def test_row_lzd_shape(self):
+    def test_row_lzd_shape(self, bench_synthesis_cache):
         # Width 16 (the paper's width): at small widths the baseline's local
         # factoring is already near-optimal and the architectural win vanishes.
-        row = row_lzd(16)
+        row = row_lzd(16, synthesis_cache=bench_synthesis_cache)
         assert row.unoptimised().kind == "unoptimised"
         assert row.progressive().kind == "progressive"
         # The headline claim of the paper: PD improves the critical path.
@@ -185,8 +185,13 @@ class TestTable1:
         assert "Progressive Decomposition" in text
         assert "paper area" in text
 
-    def test_build_table1_quick_subset(self):
-        rows = build_table1(quick=True, rows=["majority", "comparator"])
+    def test_build_table1_quick_subset(self, bench_synthesis_cache):
+        # Routed through the session synthesis cache (conftest) so repeated
+        # builds of the same quick rows in one run skip re-synthesis.
+        rows = build_table1(
+            quick=True, rows=["majority", "comparator"],
+            synthesis_cache=bench_synthesis_cache,
+        )
         assert len(rows) == 2
         for row in rows:
             assert row.variants

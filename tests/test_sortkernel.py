@@ -151,6 +151,117 @@ class TestRadixSplit:
         assert runs == [] and remainder is slab
 
 
+class TestFusedSplitBuild:
+    """``split_build_by_group`` vs its per-term oracle and the two-step path.
+
+    Tags are fresh single bits above the term range (bits 50+), group masks
+    stay below bit 40 — the preconditions the backend seam enforces before
+    calling the fused kernel.
+    """
+
+    tagged_slabs = st.lists(terms_strategy, min_size=1, max_size=3).map(
+        lambda groups: [
+            (1 << (50 + i), _slab(group)) for i, group in enumerate(groups)
+        ]
+    )
+
+    @given(slabs=tagged_slabs, group_mask=mask_strategy)
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_python_oracle(self, kernel_mode, slabs, group_mask):
+        runs, remainder = sortkernel.split_build_by_group(slabs, group_mask)
+        ref_runs, ref_remainder = sortkernel._split_build_python(slabs, group_mask)
+        assert list(remainder) == list(ref_remainder)
+        assert [(p, list(r)) for p, r in runs] == [
+            (p, list(r)) for p, r in ref_runs
+        ]
+        # Born-canonical: ascending parts, strictly ascending rows.
+        assert [p for p, _ in runs] == sorted(p for p, _ in runs)
+        for _, rows in runs:
+            assert list(rows) == sorted(set(rows))
+
+    @given(slabs=tagged_slabs, group_mask=mask_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_combine_then_split(self, kernel_mode, slabs, group_mask):
+        """The fused kernel equals tag-OR + disjoint merge + split."""
+        combined = sortkernel.merge_disjoint(
+            [sortkernel.or_into_all(rows, tag) for tag, rows in slabs]
+        )
+        two_step = sortkernel.split_runs_by_group(combined, group_mask)
+        fused = sortkernel.split_build_by_group(slabs, group_mask)
+        assert list(fused[1]) == sorted(two_step[1])
+        assert {p: list(r) for p, r in fused[0]} == {
+            p: sorted(r) for p, r in two_step[0]
+        }
+
+    @given(slabs=tagged_slabs)
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_zero_mask_tags_everything_into_remainder(self, kernel_mode, slabs):
+        runs, remainder = sortkernel.split_build_by_group(slabs, 0)
+        assert runs == []
+        expected = sorted(t | tag for tag, rows in slabs for t in rows)
+        assert list(remainder) == expected
+
+    def test_empty_slabs_are_skipped(self, kernel_mode):
+        empty = array(sortkernel.WORD_CODE)
+        runs, remainder = sortkernel.split_build_by_group(
+            [(1 << 50, empty), (1 << 51, _slab([3, 4]))], 0b1
+        )
+        assert list(remainder) == [(1 << 51) | 4]
+        assert [(p, list(r)) for p, r in runs] == [(1, [2 | (1 << 51)])]
+
+
+class TestFusedBackendSeam:
+    """``PackedBackend.split_tagged`` vs combine-then-split, decline cases."""
+
+    def _items(self, ctx, outputs):
+        from repro.core.basis import _tag_items
+
+        return _tag_items(outputs, ctx)
+
+    @given(outputs_terms=st.lists(st.lists(st.integers(min_value=0, max_value=255),
+                                           unique=True, max_size=20), min_size=1, max_size=3),
+           group_mask=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_split_tagged_matches_two_step(self, monkeypatch, outputs_terms, group_mask):
+        if not sortkernel.available():
+            pytest.skip("numpy unavailable")
+        from repro.core.basis import combine_with_tags
+
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        results = []
+        for _ in range(2):
+            ctx = Context([f"v{i}" for i in range(8)])
+            outputs = {f"o{i}": Anf(ctx, terms) for i, terms in enumerate(outputs_terms)}
+            results.append((ctx, outputs))
+        (ctx_a, outputs_a), (ctx_b, outputs_b) = results
+        items, _ = self._items(ctx_a, outputs_a)
+        fused = PackedBackend().split_tagged(items, group_mask, ctx_a)
+        assert fused is not None
+        combined, _ = combine_with_tags(outputs_b, ctx_b)
+        buckets, remainder = combined.split_by_group(group_mask)
+        fused_buckets, fused_remainder = fused
+        assert fused_remainder.terms == remainder.terms
+        assert {p: b.terms for p, b in fused_buckets.items()} == {
+            p: b.terms for p, b in buckets.items()
+        }
+
+    def test_set_backend_always_declines(self):
+        ctx = Context(["a", "b"])
+        items, _ = self._items(ctx, {"o": Anf(ctx, [1, 2])})
+        assert SetBackend().split_tagged(items, 0b1, ctx) is None
+
+    def test_wide_terms_decline_the_fused_path(self):
+        ctx = Context([f"w{i}" for i in range(70)])
+        items, _ = self._items(ctx, {"o": Anf(ctx, [1 << 69, 5])})
+        assert PackedBackend().split_tagged(items, 0b100, ctx) is None
+
+    def test_group_mask_colliding_with_tags_declines(self):
+        ctx = Context(["a", "b"])
+        items, _ = self._items(ctx, {"o": Anf(ctx, [1, 2])})
+        tag_bit = items[0][0]
+        assert PackedBackend().split_tagged(items, tag_bit | 1, ctx) is None
+
+
 class TestBackendParityThreeWays:
     """SetBackend vs old per-term packed path vs new key-sort path."""
 
