@@ -299,10 +299,44 @@ class ThreadedBackend(PackedBackend):
         sortkernel.set_parallel(None)
 
 
+class NativeBackend(PackedBackend):
+    """Packed kernels running on the compiled C extension (when built).
+
+    Installs :mod:`repro.anf.cnative` at both ends of the kernel stack:
+    as :mod:`repro.anf.sortkernel`'s parallel seam module (so every public
+    whole-slab kernel dispatches to the chunking layer) and as
+    :mod:`repro.anf.nativekernel`'s per-chunk serial core (so each chunk
+    runs the cache-resident C primitives, which release the GIL).  On one
+    configured thread that degenerates to straight serial C calls; with
+    ``REPRO_KERNEL_THREADS`` > 1 the chunking is genuinely parallel.
+
+    Without the compiled extension the same seam installs but every
+    primitive falls back to the numpy kernels — one :class:`RuntimeWarning`
+    says so at activation, and semantics are identical either way (the
+    four-backend parity suite asserts it).
+    """
+
+    name = "native"
+
+    def activate(self) -> None:
+        from . import cnative, nativekernel
+
+        cnative.warn_if_missing()
+        nativekernel.set_serial(cnative)
+        sortkernel.set_parallel(cnative)
+
+    def deactivate(self) -> None:
+        from . import nativekernel
+
+        nativekernel.set_serial(None)
+        sortkernel.set_parallel(None)
+
+
 _BACKENDS: Dict[str, SetBackend] = {
     SetBackend.name: SetBackend(),
     PackedBackend.name: PackedBackend(),
     ThreadedBackend.name: ThreadedBackend(),
+    NativeBackend.name: NativeBackend(),
 }
 
 
@@ -326,7 +360,8 @@ def get_backend() -> SetBackend:
 
 
 def set_backend(name: str) -> SetBackend:
-    """Activate a backend by name (``"set"``, ``"packed"`` or ``"threaded"``)."""
+    """Activate a backend by name (``"set"``, ``"packed"``, ``"threaded"``
+    or ``"native"``)."""
     global _active
     try:
         chosen = _BACKENDS[name]

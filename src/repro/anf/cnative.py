@@ -1,0 +1,246 @@
+"""The ``native`` term-backend kernels: C primitives behind the seam.
+
+This module is what ``REPRO_TERM_BACKEND=native`` installs at both ends of
+the kernel stack:
+
+* as :mod:`repro.anf.sortkernel`'s ``set_parallel`` module, so every public
+  whole-slab kernel dispatches here; and
+* as :mod:`repro.anf.nativekernel`'s chunk-serial core (``set_serial``), so
+  each chunk of a thread-partitioned slab runs the compiled primitives.
+
+The public seam functions below are therefore *aliases of nativekernel's
+chunked dispatchers* — chunking policy (``REPRO_KERNEL_THREADS``,
+``REPRO_KERNEL_CHUNK_MIN_ROWS``) is decided in exactly one place — and the
+``_*_serial`` functions are the per-chunk floors, signature-compatible with
+sortkernel's.  Each one calls into the compiled extension
+(:mod:`repro.anf._ckernel._impl`) when it is built and the input clears the
+same ``KERNEL_MIN_ROWS`` floor the numpy kernels use; everything else —
+missing extension, tiny slabs, masks wider than ``RADIX_MAX_GROUP_BITS``,
+numpy-less product fills — delegates to the sortkernel implementation, so
+the semantics are those of the packed backend bit for bit.  The C
+primitives release the GIL over their hot loops, which is what makes the
+thread chunking genuinely parallel instead of merely interleaved.
+
+The extension build is optional (``setup.py`` marks it ``optional=True``):
+importing this module never fails.  :func:`warn_if_missing` — called by the
+backend's ``activate`` hook — emits a one-time :class:`RuntimeWarning` when
+the native backend is selected without a compiled extension, because the
+user asked for native speed and is silently getting numpy speed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from array import array
+from typing import Dict, List, Sequence, Tuple
+
+from . import nativekernel, sortkernel
+from .sortkernel import ROW_MASK, WORD_CODE, merge_disjoint
+
+try:  # pragma: no cover - exercised implicitly by every kernel call
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+try:  # pragma: no cover - both arms are covered by the fallback tests
+    from ._ckernel import _impl as _C
+except ImportError:  # pragma: no cover
+    _C = None
+
+
+def available() -> bool:
+    """True when the compiled extension imported (C primitives in use)."""
+    return _C is not None
+
+
+_warned_missing = False
+
+
+def warn_if_missing() -> None:
+    """One-time warning when the native backend runs without the extension."""
+    global _warned_missing
+    if _C is None and not _warned_missing:
+        _warned_missing = True
+        warnings.warn(
+            "the 'native' term backend was selected but the compiled kernel "
+            "extension (repro.anf._ckernel._impl) is not built; falling back "
+            "to the numpy kernels — build it with "
+            "'python setup.py build_ext --inplace'",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _from_bytes(raw) -> array:
+    """Wrap a C-produced row buffer (bytearray/memoryview) as ``array('Q')``."""
+    out = array(WORD_CODE)
+    out.frombytes(raw)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Per-chunk serial kernels (signature-compatible with sortkernel's)
+# ----------------------------------------------------------------------
+def _split_runs_serial(
+    words: array, group_mask: int, or_mask: int = 0
+) -> Tuple[List[Tuple[int, array]], array]:
+    """Fused compress + histogram + gather radix split, in one C pass each.
+
+    ``_impl.split_radix`` returns ``None`` for empty masks and masks wider
+    than ``RADIX_MAX_GROUP_BITS`` — the same decline rule as the numpy radix
+    path — and the argsort route stays in sortkernel.
+    """
+    if _C is None or len(words) < sortkernel.KERNEL_MIN_ROWS:
+        return sortkernel._split_runs_serial(words, group_mask, or_mask)
+    result = _C.split_radix(
+        words,
+        group_mask & ROW_MASK,
+        or_mask & ROW_MASK,
+        sortkernel.RADIX_MAX_GROUP_BITS,
+    )
+    if result is None:
+        return sortkernel._split_runs_serial(words, group_mask, or_mask)
+    parts, buckets, remainder = result
+    if not parts and not or_mask:
+        # No row carries a group bit and there is no tag to plant: the
+        # input slab *is* the remainder (same no-copy guarantee as the
+        # numpy kernel).
+        return [], words
+    return (
+        [(part, _from_bytes(rows)) for part, rows in zip(parts, buckets)],
+        _from_bytes(remainder),
+    )
+
+
+def _split_build_serial(
+    tagged_slabs: Sequence[Tuple[int, array]], group_mask: int
+) -> Tuple[List[Tuple[int, array]], array]:
+    if _C is None:
+        return sortkernel._split_build_serial(tagged_slabs, group_mask)
+    per_bucket: Dict[int, List[array]] = {}
+    rest_parts: List[array] = []
+    for tag, words in tagged_slabs:
+        if not len(words):
+            continue
+        buckets, rest = _split_runs_serial(words, group_mask, or_mask=tag)
+        for part, rows in buckets:
+            pieces = per_bucket.get(part)
+            if pieces is None:
+                per_bucket[part] = pieces = []
+            pieces.append(rows)
+        if len(rest):
+            rest_parts.append(rest)
+    merged = [
+        (part, merge_disjoint(per_bucket[part])) for part in sorted(per_bucket)
+    ]
+    return merged, merge_disjoint(rest_parts) if rest_parts else array(WORD_CODE)
+
+
+def _scatter_tag_serial(words: array, bit: int) -> array:
+    if (
+        _C is None
+        or bit > ROW_MASK
+        or len(words) < sortkernel.KERNEL_MIN_ROWS
+    ):
+        return sortkernel._scatter_tag_serial(words, bit)
+    return _from_bytes(_C.scatter_tag(words, bit))
+
+
+def _xor_merge_serial(left: array, right: array) -> array:
+    if not len(left):
+        return right
+    if not len(right):
+        return left
+    if _C is None or len(left) + len(right) < sortkernel.KERNEL_MIN_ROWS:
+        return sortkernel._xor_merge_serial(left, right)
+    return _from_bytes(_C.xor_merge(left, right))
+
+
+def _parity_merge_serial(slabs: Sequence[array]) -> array:
+    alive = [s for s in slabs if len(s)]
+    if not alive:
+        return array(WORD_CODE)
+    total = sum(len(s) for s in alive)
+    if _C is None or total < sortkernel.KERNEL_MIN_ROWS:
+        return sortkernel._parity_merge_serial(slabs)
+    # One writable slab holding the whole multiset; ``sort_parity`` radix-
+    # sorts it in place and compacts the odd-count rows into its prefix.
+    buf = bytearray(total * 8)
+    view = memoryview(buf)
+    pos = 0
+    for slab in alive:
+        raw = memoryview(slab).cast("B")
+        view[pos : pos + len(raw)] = raw
+        pos += len(raw)
+    survivors = _C.sort_parity(buf)
+    return _from_bytes(view[: survivors * 8])
+
+
+def _product_rows_serial(large: array, small_terms: Sequence[int]) -> array:
+    terms = list(small_terms)
+    if (
+        _C is None
+        or _np is None  # the slab fill below is a numpy broadcast
+        or len(large) * len(terms) < sortkernel.KERNEL_MIN_ROWS
+    ):
+        return sortkernel._product_rows_serial(large, small_terms)
+    rows = _np.frombuffer(large, dtype=_np.uint64)
+    raw = _product_rec(rows, [term & ROW_MASK for term in terms])
+    return _from_bytes(raw)
+
+
+def _product_rec(rows, terms: List[int]):
+    """Parity-reduced ``XOR(terms) * rows`` as a raw row buffer.
+
+    Mirrors sortkernel's divide-and-conquer slab budget
+    (``PRODUCT_SLAB_ROWS``); the halves are canonical (sorted, distinct), so
+    their mod-2 recombination *is* the C two-pointer symmetric difference.
+    """
+    if len(terms) * len(rows) <= sortkernel.PRODUCT_SLAB_ROWS or len(terms) <= 2:
+        n = len(rows)
+        buf = bytearray(len(terms) * n * 8)
+        out = _np.frombuffer(buf, dtype=_np.uint64)
+        for i, term in enumerate(terms):
+            _np.bitwise_or(rows, _np.uint64(term), out=out[i * n : (i + 1) * n])
+        survivors = _C.sort_parity(buf)
+        return memoryview(buf)[: survivors * 8]
+    mid = len(terms) // 2
+    return _C.xor_merge(
+        _product_rec(rows, terms[:mid]), _product_rec(rows, terms[mid:])
+    )
+
+
+def _shared_literal_count_serial(left: array, right: array) -> int:
+    if (
+        _C is None
+        or min(len(left), len(right)) == 0
+        or len(left) + len(right) < sortkernel.KERNEL_MIN_ROWS
+    ):
+        return sortkernel._shared_literal_count_serial(left, right)
+    return _C.shared_literal_count(left, right)
+
+
+def _popcount_rows_serial(words) -> int:
+    if (
+        _C is None
+        or not isinstance(words, array)
+        or len(words) < sortkernel.KERNEL_MIN_ROWS
+    ):
+        return sortkernel._popcount_rows_serial(words)
+    return _C.popcount_rows(words)
+
+
+# ----------------------------------------------------------------------
+# Seam functions: nativekernel's chunked dispatchers, verbatim.  The
+# backend installs this module as nativekernel's serial core first, so the
+# dispatchers run the ``_*_serial`` kernels above per chunk (or directly,
+# below the chunking floor / on one thread).
+# ----------------------------------------------------------------------
+split_runs_by_group = nativekernel.split_runs_by_group
+split_build_by_group = nativekernel.split_build_by_group
+scatter_tag = nativekernel.scatter_tag
+xor_merge = nativekernel.xor_merge
+parity_merge = nativekernel.parity_merge
+product_rows = nativekernel.product_rows
+shared_literal_count = nativekernel.shared_literal_count
+popcount_rows = nativekernel.popcount_rows

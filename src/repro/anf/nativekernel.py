@@ -28,11 +28,18 @@ regress.  The module is installed/removed via
 :func:`repro.anf.sortkernel.set_parallel` by the backend's
 ``activate``/``deactivate`` hooks; it always calls the ``_*_serial``
 internals directly, so a chunk can never re-enter the chunking layer.
+
+The per-chunk serial core is itself pluggable (:func:`set_serial`): it
+defaults to sortkernel's numpy kernels, and the ``native`` backend swaps in
+:mod:`repro.anf.cnative`, whose compiled primitives release the GIL over
+plain C loops — same chunking policy, same deterministic merges, faster
+floors.  Whatever the core, a chunk never re-enters the chunking layer.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from array import array
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
@@ -56,15 +63,45 @@ CHUNK_MIN_ROWS = sortkernel._env_int("REPRO_KERNEL_CHUNK_MIN_ROWS", 1 << 16)
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: The module supplying the per-chunk ``_*_serial`` kernels.  Defaults to
+#: the numpy implementations in :mod:`repro.anf.sortkernel`; the ``native``
+#: backend installs :mod:`repro.anf.cnative` here so every chunk runs the
+#: compiled primitives.  Swapping the core never changes results — both
+#: cores are bit-identical, which the parity suites assert.
+_serial = sortkernel
+
+
+def set_serial(module) -> None:
+    """Install (or reset, with ``None``) the per-chunk serial kernel core."""
+    global _serial
+    _serial = sortkernel if module is None else module
+
 
 def thread_count() -> int:
-    """The configured worker count (``auto``/``0``/unset → CPU count)."""
+    """The configured worker count (``auto``/``0``/unset → CPU count).
+
+    Malformed or negative ``REPRO_KERNEL_THREADS`` values warn once and
+    fall back to the auto (CPU count) default instead of raising.
+    """
     value = os.environ.get(THREADS_ENV, "").strip().lower()
     if value in ("", "auto", "0"):
         return os.cpu_count() or 1
     try:
         parsed = int(value)
     except ValueError:
+        warnings.warn(
+            f"ignoring malformed ${THREADS_ENV}={value!r} (expected an "
+            "integer or 'auto'); using the CPU count",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return os.cpu_count() or 1
+    if parsed < 0:
+        warnings.warn(
+            f"${THREADS_ENV}={parsed} is out of range; using the CPU count",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return os.cpu_count() or 1
     return max(1, parsed)
 
@@ -141,9 +178,9 @@ def split_runs_by_group(
     words: array, group_mask: int
 ) -> Tuple[List[Tuple[int, array]], array]:
     if not _chunkable(len(words)):
-        return sortkernel._split_runs_serial(words, group_mask)
+        return _serial._split_runs_serial(words, group_mask)
     results = _map(
-        lambda chunk: sortkernel._split_runs_serial(chunk, group_mask),
+        lambda chunk: _serial._split_runs_serial(chunk, group_mask),
         _row_chunks(words),
     )
     return _merge_chunked_splits(results)
@@ -154,7 +191,7 @@ def split_build_by_group(
 ) -> Tuple[List[Tuple[int, array]], array]:
     total = sum(len(words) for _, words in tagged_slabs)
     if not _chunkable(total):
-        return sortkernel._split_build_serial(tagged_slabs, group_mask)
+        return _serial._split_build_serial(tagged_slabs, group_mask)
     # Flatten every slab into row-range jobs, keeping (slab, row) order so
     # the per-bucket pieces recombine in the same order the serial fused
     # kernel emits them (tags ascend across slabs, rows ascend within one).
@@ -167,7 +204,7 @@ def split_build_by_group(
         else:
             jobs.extend((chunk, tag) for chunk in _row_chunks(words))
     results = _map(
-        lambda job: sortkernel._split_runs_serial(
+        lambda job: _serial._split_runs_serial(
             job[0], group_mask, or_mask=job[1]
         ),
         jobs,
@@ -177,9 +214,9 @@ def split_build_by_group(
 
 def scatter_tag(words: array, bit: int) -> array:
     if not _chunkable(len(words)):
-        return sortkernel._scatter_tag_serial(words, bit)
+        return _serial._scatter_tag_serial(words, bit)
     pieces = _map(
-        lambda chunk: sortkernel._scatter_tag_serial(chunk, bit),
+        lambda chunk: _serial._scatter_tag_serial(chunk, bit),
         _row_chunks(words),
     )
     # Selected rows all shared ``bit``; stripping a shared bit preserves the
@@ -199,7 +236,7 @@ def xor_merge(left: array, right: array) -> array:
     if not len(right):
         return left
     if not _chunkable(len(left) + len(right)):
-        return sortkernel._xor_merge_serial(left, right)
+        return _serial._xor_merge_serial(left, right)
     # Partition by *value*: pick pivot rows from the larger operand, cut both
     # operands at the same pivots (same searchsorted side), and symmetric-
     # difference each value range independently.  Equal rows land in the same
@@ -220,7 +257,7 @@ def xor_merge(left: array, right: array) -> array:
         )
     ]
     pieces = _map(
-        lambda job: sortkernel._xor_merge_serial(job[0], job[1]), jobs
+        lambda job: _serial._xor_merge_serial(job[0], job[1]), jobs
     )
     out = array(WORD_CODE)
     for piece in pieces:
@@ -232,7 +269,7 @@ def parity_merge(slabs: Sequence[array]) -> array:
     alive = [s for s in slabs if len(s)]
     total = sum(len(s) for s in alive)
     if len(alive) < 2 or not _chunkable(total):
-        return sortkernel._parity_merge_serial(slabs)
+        return _serial._parity_merge_serial(slabs)
     # Greedy contiguous grouping of the slab list into roughly row-balanced
     # jobs; each job reduces mod 2 independently and the partials reduce
     # mod 2 once more (parity of the total count = parity of group parities).
@@ -249,23 +286,23 @@ def parity_merge(slabs: Sequence[array]) -> array:
     if current:
         groups.append(current)
     if len(groups) < 2:
-        return sortkernel._parity_merge_serial(alive)
-    partials = _map(sortkernel._parity_merge_serial, groups)
-    return sortkernel._parity_merge_serial(partials)
+        return _serial._parity_merge_serial(alive)
+    partials = _map(_serial._parity_merge_serial, groups)
+    return _serial._parity_merge_serial(partials)
 
 
 def product_rows(large: array, small_terms: Sequence[int]) -> array:
     total = len(large) * len(small_terms)
     if len(large) < 2 * CHUNK_MIN_ROWS or not _chunkable(total):
-        return sortkernel._product_rows_serial(large, small_terms)
+        return _serial._product_rows_serial(large, small_terms)
     terms = list(small_terms)
     partials = _map(
-        lambda chunk: sortkernel._product_rows_serial(chunk, terms),
+        lambda chunk: _serial._product_rows_serial(chunk, terms),
         _row_chunks(large),
     )
     # A product row can repeat across chunks (row1|term1 == row2|term2), so
     # the chunk parities reduce mod 2 once more.
-    return sortkernel._parity_merge_serial(partials)
+    return _serial._parity_merge_serial(partials)
 
 
 # ----------------------------------------------------------------------
@@ -274,9 +311,17 @@ def product_rows(large: array, small_terms: Sequence[int]) -> array:
 def shared_literal_count(left: array, right: array) -> int:
     small, large = (left, right) if len(left) <= len(right) else (right, left)
     if not _chunkable(len(small)):
-        return sortkernel._shared_literal_count_serial(left, right)
+        return _serial._shared_literal_count_serial(left, right)
     partials = _map(
-        lambda chunk: sortkernel._shared_literal_count_serial(chunk, large),
+        lambda chunk: _serial._shared_literal_count_serial(chunk, large),
         _row_chunks(small),
     )
     return sum(partials)
+
+
+def popcount_rows(words: array) -> int:
+    if not isinstance(words, array) or not _chunkable(len(words)):
+        return _serial._popcount_rows_serial(words)
+    # Per-chunk popcounts sum: addition is associative, so any partition
+    # gives the serial total.
+    return sum(_map(_serial._popcount_rows_serial, _row_chunks(words)))

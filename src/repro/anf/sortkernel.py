@@ -54,6 +54,7 @@ round-trips exceeds the per-term loop it replaces.
 from __future__ import annotations
 
 import os
+import warnings
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -64,16 +65,34 @@ except ImportError:  # pragma: no cover - the container bakes numpy in
 
 
 def _env_int(name: str, default: int, minimum: int = 0) -> int:
-    """An integer tunable from the environment (malformed values keep the
-    default, values below ``minimum`` are clamped)."""
+    """An integer tunable from the environment.
+
+    Malformed values keep the default and values below ``minimum`` are
+    clamped — in both cases with a :class:`RuntimeWarning` naming the
+    variable, so a typo'd tunable is visible instead of silently running
+    the wrong configuration (and never an import-time crash).
+    """
     value = os.environ.get(name, "").strip()
     if not value:
         return default
     try:
         parsed = int(value)
     except ValueError:
+        warnings.warn(
+            f"ignoring malformed ${name}={value!r} (expected an integer); "
+            f"using the default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return default
-    return max(minimum, parsed)
+    if parsed < minimum:
+        warnings.warn(
+            f"${name}={parsed} is below the minimum {minimum}; clamping",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return minimum
+    return parsed
 
 
 #: Row count below which the per-term Python paths win (array round-trip
@@ -697,6 +716,13 @@ def popcount_rows(words: array) -> int:
     big-integer construction that used to dominate the engine's
     ``literal_count`` queries on multi-million-row slabs.
     """
+    par = _parallel
+    if par is not None:
+        return par.popcount_rows(words)
+    return _popcount_rows_serial(words)
+
+
+def _popcount_rows_serial(words) -> int:
     if _np is None or len(words) < KERNEL_MIN_ROWS:
         if isinstance(words, array):
             return int.from_bytes(words.tobytes(), "little").bit_count()

@@ -105,7 +105,7 @@ def _twin_adder(width):
     return specs
 
 
-BACKENDS = ("set", "packed", "threaded")
+BACKENDS = ("set", "packed", "threaded", "native")
 
 
 class TestAblationParity:

@@ -16,7 +16,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.anf import Anf, Context
-from repro.anf import nativekernel, sortkernel
+from repro.anf import cnative, nativekernel, sortkernel
 from repro.anf.backend import get_backend, using_backend
 
 terms_strategy = st.lists(
@@ -29,12 +29,18 @@ def _slab(terms):
     return array(sortkernel.WORD_CODE, sorted(terms))
 
 
-@pytest.fixture
-def forced_chunks(monkeypatch):
+@pytest.fixture(params=["numpy", "cnative"])
+def forced_chunks(request, monkeypatch):
     """Force chunk boundaries through even tiny inputs: 4 workers, 4-row
-    chunks, every kernel down the vectorised path."""
+    chunks, every kernel down the vectorised path — once with the numpy
+    serial core and once with the compiled C core, so every chunked
+    primitive is checked against both floors."""
     if not sortkernel.available():
         pytest.skip("numpy unavailable")
+    if request.param == "cnative":
+        if not cnative.available():
+            pytest.skip("C extension not built")
+        monkeypatch.setattr(nativekernel, "_serial", cnative)
     monkeypatch.setenv(nativekernel.THREADS_ENV, "4")
     monkeypatch.setattr(nativekernel, "CHUNK_MIN_ROWS", 4)
     monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
@@ -57,9 +63,24 @@ class TestThreadCount:
         monkeypatch.setenv(nativekernel.THREADS_ENV, "3")
         assert nativekernel.thread_count() == 3
         monkeypatch.setenv(nativekernel.THREADS_ENV, "-2")
-        assert nativekernel.thread_count() == 1
+        with pytest.warns(RuntimeWarning, match="out of range"):
+            assert nativekernel.thread_count() == (os.cpu_count() or 1)
         monkeypatch.setenv(nativekernel.THREADS_ENV, "many")
-        assert nativekernel.thread_count() == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert nativekernel.thread_count() == (os.cpu_count() or 1)
+
+    def test_env_int_warns_on_bad_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_TUNABLE", "not-a-number")
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert sortkernel._env_int("REPRO_TEST_TUNABLE", 1024) == 1024
+        monkeypatch.setenv("REPRO_TEST_TUNABLE", "-5")
+        with pytest.warns(RuntimeWarning, match="below the minimum"):
+            assert sortkernel._env_int("REPRO_TEST_TUNABLE", 1024, minimum=1) == 1
+        # In-range and empty values stay silent.
+        monkeypatch.setenv("REPRO_TEST_TUNABLE", "17")
+        assert sortkernel._env_int("REPRO_TEST_TUNABLE", 1024) == 17
+        monkeypatch.setenv("REPRO_TEST_TUNABLE", "")
+        assert sortkernel._env_int("REPRO_TEST_TUNABLE", 1024) == 1024
 
     def test_single_thread_stays_serial(self, monkeypatch):
         """One worker (or a sub-threshold input) must bypass the pool."""
@@ -146,6 +167,13 @@ class TestChunkedKernelParity:
             _slab(left), _slab(right)
         ) == sortkernel._shared_literal_count_serial(_slab(left), _slab(right))
 
+    @given(terms=terms_strategy)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_popcount_rows(self, forced_chunks, terms):
+        assert nativekernel.popcount_rows(_slab(terms)) == sum(
+            t.bit_count() for t in terms
+        )
+
     def test_one_vs_many_threads(self, monkeypatch):
         """The same call at 1, 2 and 8 workers returns the same bytes."""
         if not sortkernel.available():
@@ -182,10 +210,20 @@ class TestThreadedBackend:
         previous = get_backend().name
         with using_backend("threaded"):
             assert sortkernel._parallel is nativekernel
+            assert nativekernel._serial is sortkernel
             assert get_backend().name == "threaded"
-        assert sortkernel._parallel is (
-            nativekernel if previous == "threaded" else None
-        )
+        expected = {"threaded": nativekernel, "native": cnative}.get(previous)
+        assert sortkernel._parallel is expected
+
+    def test_native_activation_installs_both_hooks(self):
+        previous = get_backend().name
+        with using_backend("native"):
+            assert sortkernel._parallel is cnative
+            assert nativekernel._serial is cnative
+            assert get_backend().name == "native"
+        if previous not in ("threaded", "native"):
+            assert sortkernel._parallel is None
+            assert nativekernel._serial is sortkernel
 
     def test_wide_terms_fall_back_to_set_path(self):
         ctx = Context([f"w{i}" for i in range(70)])
@@ -208,7 +246,7 @@ class TestThreadedBackend:
         monkeypatch.setenv(nativekernel.THREADS_ENV, "4")
         monkeypatch.setattr(nativekernel, "CHUNK_MIN_ROWS", 4)
         results = {}
-        for backend in ("packed", "threaded"):
+        for backend in ("packed", "threaded", "native"):
             ctx = Context()
             bits = variables(ctx, [f"x{i}" for i in range(9)])
             outputs = {"maj": majority(bits, ctx), "parity": xor_accumulate(bits, ctx)}
@@ -223,4 +261,4 @@ class TestThreadedBackend:
                 {p: sorted(e.terms) for p, e in d.outputs.items()},
                 [record.group for record in d.iterations],
             )
-        assert results["packed"] == results["threaded"]
+        assert results["packed"] == results["threaded"] == results["native"]

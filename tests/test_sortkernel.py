@@ -33,14 +33,24 @@ terms_strategy = st.lists(
 mask_strategy = st.integers(min_value=0, max_value=(1 << 40) - 1)
 
 
-@pytest.fixture(params=["python", "numpy"])
+@pytest.fixture(params=["python", "numpy", "cnative"])
 def kernel_mode(request, monkeypatch):
-    """Run each kernel property under both the fallback and the forced
-    numpy path (``KERNEL_MIN_ROWS = 0`` sends even tiny inputs through it)."""
+    """Run each kernel property under the per-term fallback, the forced
+    numpy path, and the compiled C core (``KERNEL_MIN_ROWS = 0`` sends even
+    tiny inputs through the vector kernels; installing ``cnative`` behind
+    the parallel seam routes the public kernels through the C primitives)."""
     if request.param == "numpy":
         if not sortkernel.available():
             pytest.skip("numpy unavailable")
         monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+    elif request.param == "cnative":
+        from repro.anf import cnative, nativekernel
+
+        if not cnative.available():
+            pytest.skip("C extension not built")
+        monkeypatch.setattr(sortkernel, "KERNEL_MIN_ROWS", 0)
+        monkeypatch.setattr(sortkernel, "_parallel", cnative)
+        monkeypatch.setattr(nativekernel, "_serial", cnative)
     else:
         monkeypatch.setattr(sortkernel, "_np", None)
     return request.param

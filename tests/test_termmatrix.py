@@ -181,8 +181,11 @@ class TestBackendKernelParity:
 
 
 class TestBackendSelection:
-    def test_default_backend_is_packed(self):
-        assert get_backend().name in ("packed", "set")
+    def test_active_backend_honours_environment(self):
+        import os
+
+        expected = os.environ.get("REPRO_TERM_BACKEND", "packed")
+        assert get_backend().name == expected
 
     def test_set_backend_round_trip(self):
         previous = get_backend().name
