@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""Load generator for the decomposition service (`repro.service`).
+
+Replays thousands of mixed decomposition/synthesis job requests against a
+live server and reports the *operating point* — client-observed p50/p99
+latency, throughput, cache hit rate and dedup rate at a given concurrency —
+alongside the per-circuit cold numbers `run_bench.py` tracks::
+
+    python benchmarks/run_loadgen.py --requests 2000 --concurrency 16 \
+        --out benchmarks/BENCH_service.json
+
+By default the harness launches its own server subprocess (fresh temporary
+cache, `--workers` fork-pool processes) and shuts it down gracefully at the
+end; point `--server URL` at an already-running instance instead to load-test
+a deployment.
+
+Two phases run:
+
+* **mixed replay** — `--requests` jobs sampled (seeded) from a fixed menu of
+  quick-width specs, issued by `--concurrency` client threads, each blocking
+  on ``POST /jobs?wait=1``.  The first occurrence of each distinct spec
+  computes; repeats hit the on-disk store or attach to an in-flight twin.
+* **thundering herd** — `--herd` *identical* submissions of a spec that is
+  deliberately not in the mixed menu, fired concurrently while the job is
+  held in flight (`--herd-delay-ms`).  The demonstration the service exists
+  for: the /metrics computation counter must advance by exactly **1**, with
+  the remaining N-1 submissions served as in-flight dedup hits.  The run
+  exits non-zero if it does not.
+
+The `--out` record (committed as `benchmarks/BENCH_service.json`) stores both
+phases plus the final /metrics scrape.  Latency baselines from a loaded box
+are noisy by nature — the committed record documents the operating point; the
+hard gate is the dedup invariant, not the milliseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+# Allow running as a plain script without PYTHONPATH=src.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+SCHEMA = "repro-service-loadgen-v1"
+
+#: The mixed-replay menu: (weight, spec).  Small quick widths — the point is
+#: traffic shape (dedup + cache behaviour under concurrency), not cold
+#: decomposition times, which run_bench.py already tracks.
+SPEC_MENU = [
+    (8, {"circuit": "majority", "width": 7}),
+    (8, {"circuit": "counter", "width": 8}),
+    (6, {"circuit": "lzd", "width": 8}),
+    (6, {"circuit": "lod", "width": 10}),
+    (5, {"circuit": "adder", "width": 6}),
+    (5, {"circuit": "comparator", "width": 8}),
+    (4, {"circuit": "three_input_adder", "width": 4}),
+    (3, {"kind": "synthesize", "circuit": "majority", "width": 7}),
+    (3, {"kind": "synthesize", "circuit": "counter", "width": 8}),
+    (2, {"kind": "synthesize", "circuit": "adder", "width": 6, "objective": "delay"}),
+    (2, {"circuit": "majority", "width": 9}),
+    (2, {"circuit": "counter", "width": 10}),
+]
+
+#: The herd spec is deliberately absent from the menu so the herd phase is
+#: always a cold digest: exactly one computation, N-1 in-flight dedup hits.
+HERD_SPEC = {"circuit": "lzd", "width": 9}
+
+
+def http_json(url: str, data: bytes | None = None, method: str | None = None,
+              timeout: float = 120.0):
+    request = urllib.request.Request(
+        url, data=data, method=method or ("POST" if data is not None else "GET")
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def latency_stats(latencies):
+    window = sorted(latencies)
+    return {
+        "count": len(window),
+        "p50_ms": round(percentile(window, 0.50) * 1000, 2),
+        "p99_ms": round(percentile(window, 0.99) * 1000, 2),
+        "mean_ms": round(statistics.fmean(window) * 1000, 2) if window else 0.0,
+        "max_ms": round(window[-1] * 1000, 2) if window else 0.0,
+    }
+
+
+def run_phase(base_url: str, payloads, concurrency: int):
+    """Issue every payload with ``concurrency`` blocking client threads."""
+    latencies = []
+    failures = 0
+
+    def one(payload: bytes):
+        start = time.perf_counter()
+        try:
+            body = http_json(f"{base_url}/jobs?wait=1&timeout=300", payload)
+            ok = body.get("state") == "done"
+        except (urllib.error.URLError, OSError, ValueError):
+            ok = False
+        return time.perf_counter() - start, ok
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for elapsed, ok in pool.map(one, payloads):
+            latencies.append(elapsed)
+            if not ok:
+                failures += 1
+    wall = time.perf_counter() - start
+    return latencies, failures, wall
+
+
+def start_server(workers: int, cache_dir: str, tmp_dir: str):
+    """Launch a server subprocess; returns (process, base_url)."""
+    port_file = os.path.join(tmp_dir, "service.port")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--port-file", port_file, "--cache-dir", cache_dir,
+         "--workers", str(workers)],
+        env={**os.environ, "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", "")},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 60
+    while not os.path.exists(port_file):
+        if process.poll() is not None:
+            raise RuntimeError(f"server exited early:\n{process.stdout.read()}")
+        if time.time() > deadline:
+            process.kill()
+            raise RuntimeError("server did not report a port within 60 s")
+        time.sleep(0.05)
+    with open(port_file) as handle:
+        port = int(handle.read().strip())
+    return process, f"http://127.0.0.1:{port}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="mixed-replay request count (default 2000)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="client threads (default 16)")
+    parser.add_argument("--herd", type=int, default=32,
+                        help="identical concurrent submissions in the herd phase")
+    parser.add_argument("--herd-delay-ms", type=int, default=400,
+                        help="in-flight hold time for the herd job (default 400)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="server worker processes (default: CPU count)")
+    parser.add_argument("--server", metavar="URL", default=None,
+                        help="load an already-running server instead of "
+                             "launching one (skips shutdown)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload sampling seed (default 7)")
+    parser.add_argument("--out", metavar="OUT.json",
+                        help="write the loadgen record to this file")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    weighted = [spec for weight, spec in SPEC_MENU for _ in range(weight)]
+    payloads = [
+        json.dumps(rng.choice(weighted), sort_keys=True).encode("utf-8")
+        for _ in range(args.requests)
+    ]
+    herd_payload = json.dumps(
+        {**HERD_SPEC, "delay_ms": args.herd_delay_ms}, sort_keys=True
+    ).encode("utf-8")
+
+    process = None
+    tmp_context = tempfile.TemporaryDirectory(prefix="repro-loadgen-")
+    try:
+        if args.server:
+            base_url = args.server.rstrip("/")
+        else:
+            workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+            cache_dir = os.path.join(tmp_context.name, "cache")
+            process, base_url = start_server(workers, cache_dir, tmp_context.name)
+
+        health = http_json(f"{base_url}/healthz")
+        print(f"server {base_url}: {health['status']}, workers={health['workers']}")
+
+        # ---------------- phase 1: mixed replay ----------------
+        print(f"replaying {args.requests} mixed requests "
+              f"({len(SPEC_MENU)} distinct specs, concurrency {args.concurrency}) ...")
+        latencies, failures, wall = run_phase(base_url, payloads, args.concurrency)
+        mixed_metrics = http_json(f"{base_url}/metrics")
+        mixed = {
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "distinct_specs": len(SPEC_MENU),
+            "failures": failures,
+            "wall_seconds": round(wall, 3),
+            "throughput_rps": round(args.requests / wall, 1) if wall else 0.0,
+            "latency": latency_stats(latencies),
+        }
+        print(f"  {mixed['throughput_rps']} req/s, "
+              f"p50 {mixed['latency']['p50_ms']} ms, "
+              f"p99 {mixed['latency']['p99_ms']} ms, "
+              f"cache hit rate {mixed_metrics['cache']['hit_rate']:.1%}, "
+              f"dedup rate {mixed_metrics['dedup']['rate']:.1%}, "
+              f"failures {failures}")
+
+        # ---------------- phase 2: thundering herd ----------------
+        before = http_json(f"{base_url}/metrics")
+        print(f"thundering herd: {args.herd} identical concurrent submissions "
+              f"(held in flight {args.herd_delay_ms} ms) ...")
+        herd_latencies, herd_failures, herd_wall = run_phase(
+            base_url, [herd_payload] * args.herd, args.herd
+        )
+        after = http_json(f"{base_url}/metrics")
+        computations = after["cache"]["misses"] - before["cache"]["misses"]
+        dedup_hits = after["dedup"]["inflight_hits"] - before["dedup"]["inflight_hits"]
+        herd = {
+            "submissions": args.herd,
+            "delay_ms": args.herd_delay_ms,
+            "computations": computations,
+            "dedup_inflight_hits": dedup_hits,
+            "failures": herd_failures,
+            "wall_seconds": round(herd_wall, 3),
+            "latency": latency_stats(herd_latencies),
+        }
+        herd_ok = computations == 1 and dedup_hits == args.herd - 1 and herd_failures == 0
+        print(f"  {args.herd} submissions -> {computations} computation(s), "
+              f"{dedup_hits} in-flight dedup hits: "
+              f"{'OK' if herd_ok else 'DEDUP FAILURE'}")
+
+        record = {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "seed": args.seed,
+            "server_workers": health["workers"],
+            "mixed": mixed,
+            "herd": herd,
+            "metrics": after,
+        }
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+
+        if not args.server:
+            http_json(f"{base_url}/shutdown", b"", method="POST")
+            process.wait(timeout=120)
+            process = None
+
+        if failures:
+            print(f"FAILURE: {failures} mixed requests did not complete")
+            return 1
+        if not herd_ok:
+            print("FAILURE: thundering herd did not deduplicate to one computation")
+            return 1
+        return 0
+    finally:
+        if process is not None:
+            process.kill()
+        tmp_context.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

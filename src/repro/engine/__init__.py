@@ -15,12 +15,16 @@ from .batch import (
     BatchJob,
     BatchOrchestrator,
     BatchResult,
+    JobOutcome,
     decompose_cached,
+    job_fingerprint,
     map_parallel,
+    run_job,
     shard_map,
     shard_workers,
 )
 from .cache import (
+    CacheTelemetry,
     DecompositionCache,
     SynthesisCache,
     cache_key,
@@ -49,8 +53,10 @@ __all__ = [
     "BatchJob",
     "BatchOrchestrator",
     "BatchResult",
+    "CacheTelemetry",
     "DecompositionCache",
     "EngineState",
+    "JobOutcome",
     "GroupingPass",
     "IdentityAnalysisPass",
     "LinearDependencePass",
@@ -65,8 +71,10 @@ __all__ = [
     "decompose_cached",
     "decomposition_digest",
     "deserialize_decomposition",
+    "job_fingerprint",
     "map_parallel",
     "netlist_digest",
+    "run_job",
     "serialize_decomposition",
     "shard_map",
     "shard_workers",

@@ -7,6 +7,10 @@ front door:
 
 * :func:`decompose_cached` — decompose one spec, consulting an optional
   on-disk :class:`~repro.engine.cache.DecompositionCache` first;
+* :func:`run_job` / :func:`job_fingerprint` — the job API surface: one
+  builder-described job run end to end through both cache layers, returning
+  a structured :class:`JobOutcome`.  This is the worker body shared by the
+  orchestrator below and the HTTP front-end (``repro.service``);
 * :class:`BatchOrchestrator` — fan a list of :class:`BatchJob` out over a
   ``multiprocessing`` pool, with every worker sharing the same cache
   directory (writes are atomic, no locking needed);
@@ -124,9 +128,17 @@ def _spec_parts(spec: object) -> Tuple[Mapping[str, Anf], Optional[List[List[str
     return outputs, getattr(spec, "input_words", None)
 
 
-def _job_fingerprint(builder: Callable, args: tuple, kwargs: Dict[str, object],
-                     config_key: str) -> str:
-    """Stable fingerprint of a job's (builder identity, arguments, config)."""
+def job_fingerprint(builder: Callable, args: tuple, kwargs: Mapping[str, object],
+                    config_key: str) -> str:
+    """Stable fingerprint of a job's (builder identity, arguments, config).
+
+    This is the *job-level* key: it identifies "run this builder with these
+    arguments under this pipeline configuration" without building the spec.
+    The content-addressed :func:`~repro.engine.cache.cache_key` stays the
+    source of truth below it.  Public because the service front-end
+    (``repro.service``) deduplicates in-flight submissions by exactly this
+    fingerprint.
+    """
     rendered = "|".join((
         SCHEMA,
         ENGINE_CACHE_EPOCH,
@@ -138,31 +150,59 @@ def _job_fingerprint(builder: Callable, args: tuple, kwargs: Dict[str, object],
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
 
-def _execute_job(payload: tuple) -> Tuple[str, dict, float, bool]:
-    """Worker body: build the spec, decompose (through the cache), serialise.
+@dataclass
+class JobOutcome:
+    """The result of one decomposition job run through :func:`run_job`.
 
-    With a cache, the job index is consulted first: a hit skips rebuilding
-    and re-hashing the specification entirely and streams the stored record
-    back.  On an index miss the spec is built, content-keyed, decomposed (or
-    loaded), and both layers are updated.
+    ``record`` is the cache's JSON-serialisable decomposition record
+    (rebuild with :func:`~repro.engine.cache.deserialize_decomposition`);
+    ``cache_hit`` says whether the decomposition was loaded rather than
+    computed; ``content_key``/``job_key`` are the cache coordinates it was
+    stored (or found) under, when a cache was in play.
     """
-    name, builder, args, kwargs, options, cache_dir, use_job_index = payload
+
+    record: dict
+    seconds: float
+    cache_hit: bool
+    content_key: Optional[str] = None
+    job_key: Optional[str] = None
+
+
+def run_job(
+    builder: Callable[..., object],
+    args: tuple = (),
+    kwargs: Mapping[str, object] | None = None,
+    options: DecompositionOptions | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_job_index: bool = True,
+) -> JobOutcome:
+    """Run one decomposition job end to end; the engine's job API surface.
+
+    This is the worker body shared by the batch orchestrator and the service
+    front-end: with a cache, the job index is consulted first (a hit skips
+    rebuilding and re-hashing the specification entirely and streams the
+    stored record back); on an index miss the spec is built, content-keyed,
+    decomposed (or loaded), and both cache layers are updated.
+    """
+    kwargs = dict(kwargs or {})
     cache = DecompositionCache(cache_dir) if cache_dir else None
     start = time.perf_counter()
     pipeline = Pipeline.from_options(options)
     job_key = None
     if cache is not None and use_job_index:
-        job_key = _job_fingerprint(builder, args, kwargs, pipeline.config_key())
+        job_key = job_fingerprint(builder, args, kwargs, pipeline.config_key())
         content_key = cache.load_index(job_key)
         if content_key is not None:
             record = cache.load_raw(content_key)
             if record is not None:
-                return name, record, time.perf_counter() - start, True
+                return JobOutcome(record, time.perf_counter() - start, True,
+                                  content_key, job_key)
     spec = builder(*args, **kwargs)
     outputs, input_words = _spec_parts(spec)
     if cache is None:
         decomposition = pipeline.run(outputs, input_words=input_words, options=options)
-        return name, serialize_decomposition(decomposition), time.perf_counter() - start, False
+        return JobOutcome(serialize_decomposition(decomposition),
+                          time.perf_counter() - start, False)
     digest = canonical_spec_digest(outputs, input_words)
     content_key = cache_key(digest, pipeline.config_key())
     record = cache.load_raw(content_key)
@@ -172,7 +212,14 @@ def _execute_job(payload: tuple) -> Tuple[str, dict, float, bool]:
         record = cache.store(content_key, decomposition)
     if job_key is not None:
         cache.store_index(job_key, content_key)
-    return name, record, time.perf_counter() - start, hit
+    return JobOutcome(record, time.perf_counter() - start, hit, content_key, job_key)
+
+
+def _execute_job(payload: tuple) -> Tuple[str, dict, float, bool]:
+    """Pool-worker wrapper around :func:`run_job` (picklable payload tuple)."""
+    name, builder, args, kwargs, options, cache_dir, use_job_index = payload
+    outcome = run_job(builder, args, kwargs, options, cache_dir, use_job_index)
+    return name, outcome.record, outcome.seconds, outcome.cache_hit
 
 
 # ----------------------------------------------------------------------

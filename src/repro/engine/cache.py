@@ -177,6 +177,59 @@ def _atomic_json_dump(directory: Path, path: Path, data: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# Hit/miss telemetry
+# ----------------------------------------------------------------------
+class CacheTelemetry:
+    """Shared hit/miss/store counters a cache instance can report into.
+
+    Both caches accept an optional ``telemetry`` object and record every
+    *lookup* (a raw-record read counts once even when the caller also
+    deserialises it) plus every store.  One telemetry object may be shared
+    by several cache instances — e.g. a decomposition cache and the
+    synthesis cache living under the same store — to aggregate a service's
+    overall hit rate.  Counter bumps are single bytecode increments, so the
+    object is safe to share across threads for monitoring purposes;
+    cross-process aggregation is the caller's job (the service sums
+    worker-reported outcomes instead).
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def record_lookup(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def record_store(self) -> None:
+        self.stores += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 with no lookups)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CacheTelemetry(hits={self.hits}, misses={self.misses}, stores={self.stores})"
+
+
+# ----------------------------------------------------------------------
 # The cache itself
 # ----------------------------------------------------------------------
 def cache_key(spec_digest: str, config_key: str) -> str:
@@ -186,11 +239,18 @@ def cache_key(spec_digest: str, config_key: str) -> str:
 
 
 class DecompositionCache:
-    """Directory of ``<key>.json`` decomposition records."""
+    """Directory of ``<key>.json`` decomposition records.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``telemetry`` (optional) receives a lookup event per ``load``/``load_raw``
+    call and a store event per write — the hook the service's ``/metrics``
+    endpoint and any shared-store monitoring hang off.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 telemetry: CacheTelemetry | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -221,6 +281,12 @@ class DecompositionCache:
         key path) are treated as misses, so callers that ship raw records
         across processes don't crash on deserialisation.
         """
+        record = self._read_record(key)
+        if self.telemetry is not None:
+            self.telemetry.record_lookup(record is not None)
+        return record
+
+    def _read_record(self, key: str) -> Optional[dict]:
         path = self._path(key)
         try:
             with open(path) as handle:
@@ -244,6 +310,8 @@ class DecompositionCache:
     def store_raw(self, key: str, data: dict) -> None:
         """Atomically persist an already-serialised record."""
         _atomic_json_dump(self.root, self._path(key), data)
+        if self.telemetry is not None:
+            self.telemetry.record_store()
 
     # ------------------------------------------------------------------
     # Job index: fingerprint of (builder, args, config) -> content key.
@@ -362,18 +430,27 @@ class SynthesisCache:
     everything the evaluation tables and figures read from a
     :class:`~repro.eval.flows.FlowResult`, at a fraction of the bytes.
     Corrupt or foreign records are treated as misses, exactly like
-    :class:`DecompositionCache`.
+    :class:`DecompositionCache`; an optional ``telemetry`` object receives
+    the same lookup/store events.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike,
+                 telemetry: CacheTelemetry | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[dict]:
         """The cached metric record for ``key``, or ``None``."""
+        record = self._read_record(key)
+        if self.telemetry is not None:
+            self.telemetry.record_lookup(record is not None)
+        return record
+
+    def _read_record(self, key: str) -> Optional[dict]:
         try:
             with open(self._path(key)) as handle:
                 record = json.load(handle)
@@ -392,6 +469,8 @@ class SynthesisCache:
         """Atomically persist a metric record; returns the stored record."""
         record = {"schema": SYNTH_SCHEMA, **metrics}
         _atomic_json_dump(self.root, self._path(key), record)
+        if self.telemetry is not None:
+            self.telemetry.record_store()
         return record
 
     def clear(self) -> int:

@@ -1,0 +1,42 @@
+"""Decomposition-as-a-service: a long-lived HTTP front-end over the engine.
+
+``python -m repro.service`` starts the server; see ``docs/SERVICE.md`` for
+the operator's guide (endpoints, job lifecycle, dedup semantics, shutdown).
+
+The package splits into the job model (:mod:`repro.service.jobs`: spec
+validation, canonical job digests, the pool-worker body), the operating
+point counters (:mod:`repro.service.metrics`) and the asyncio HTTP server
+(:mod:`repro.service.server`), all stdlib + the existing engine.
+"""
+
+from .jobs import (
+    CIRCUITS,
+    Job,
+    JobSpec,
+    JobState,
+    SpecError,
+    execute_job,
+    parse_job_spec,
+)
+from .metrics import ServiceMetrics
+from .server import (
+    DecompositionService,
+    ServiceConfig,
+    ServiceThread,
+    run_service,
+)
+
+__all__ = [
+    "CIRCUITS",
+    "DecompositionService",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceThread",
+    "SpecError",
+    "execute_job",
+    "parse_job_spec",
+    "run_service",
+]

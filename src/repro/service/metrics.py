@@ -1,0 +1,116 @@
+"""Operating-point counters for the decomposition service.
+
+The service reports how it behaves *under load*, not just per-circuit cold
+times: submission/completion counters, the three ways a submission can be
+satisfied (in-flight dedup, disk cache, fresh computation), live queue
+depth, and request-latency percentiles over a sliding window.  Everything
+is plain integers/floats mutated from the single asyncio event-loop thread,
+so there is nothing to lock; ``/metrics`` renders ``snapshot()`` as JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..engine.cache import CacheTelemetry
+
+#: Completed-job latencies kept for the percentile window.
+LATENCY_WINDOW = 10_000
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 on empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+class ServiceMetrics:
+    """Counters + latency window behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0           # malformed specs (HTTP 400)
+        #: Submissions satisfied by subscribing to an identical in-flight
+        #: job — the thundering-herd counter.
+        self.dedup_inflight_hits = 0
+        #: Worker outcomes: decomposition loaded from the on-disk store.
+        self.cache_hits = 0
+        #: Worker outcomes: decomposition actually computed (cache miss).
+        self.computations = 0
+        #: Jobs handed to the pool and not yet finished.
+        self.queue_depth = 0
+        #: Distinct digests currently in flight (primaries, not subscribers).
+        self.inflight_unique = 0
+        self.latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        #: Parent-side cache telemetry (only exercised by in-process
+        #: execution paths; worker-side hits arrive via ``record_outcome``).
+        self.cache_telemetry = CacheTelemetry()
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, cache_hit: bool) -> None:
+        """Count how a primary job's decomposition was obtained."""
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.computations += 1
+
+    def record_completion(self, latency_seconds: Optional[float], failed: bool) -> None:
+        if failed:
+            self.jobs_failed += 1
+        else:
+            self.jobs_completed += 1
+        if latency_seconds is not None:
+            self.latencies.append(latency_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Disk hits / worker-executed jobs (dedup subscribers excluded)."""
+        executed = self.cache_hits + self.computations
+        return self.cache_hits / executed if executed else 0.0
+
+    @property
+    def dedup_rate(self) -> float:
+        """In-flight dedup hits / submissions."""
+        if not self.jobs_submitted:
+            return 0.0
+        return self.dedup_inflight_hits / self.jobs_submitted
+
+    def snapshot(self) -> Dict[str, object]:
+        window = sorted(self.latencies)
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "rejected": self.jobs_rejected,
+            },
+            "dedup": {
+                "inflight_hits": self.dedup_inflight_hits,
+                "rate": round(self.dedup_rate, 4),
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.computations,
+                "hit_rate": round(self.cache_hit_rate, 4),
+                "parent_store": self.cache_telemetry.snapshot(),
+            },
+            "queue": {
+                "depth": self.queue_depth,
+                "inflight_unique": self.inflight_unique,
+            },
+            "latency_seconds": {
+                "count": len(window),
+                "p50": round(percentile(window, 0.50), 4),
+                "p99": round(percentile(window, 0.99), 4),
+                "max": round(window[-1], 4) if window else 0.0,
+            },
+        }

@@ -1,0 +1,501 @@
+"""The asyncio HTTP front-end of decomposition-as-a-service.
+
+One event loop owns all bookkeeping (job table, in-flight map, metrics);
+decompositions run in a ``multiprocessing`` fork pool (or an in-process
+worker thread with ``workers=0``) and come back as JSON-ready summaries.
+The HTTP layer is deliberately ``http.server``-grade: a hand-rolled
+HTTP/1.1 request parser over ``asyncio.start_server``, stdlib only, one
+connection per request (``Connection: close``).
+
+Endpoints
+---------
+* ``POST /jobs`` — submit a job spec (JSON body); ``?wait=1`` blocks until
+  the job is terminal.  Identical in-flight submissions (equal canonical
+  digests) attach to the running computation instead of spawning another.
+* ``GET /jobs`` — brief listing of known jobs.
+* ``GET /jobs/<id>`` — job status; ``?wait=1`` long-polls until terminal.
+* ``GET /jobs/<id>/events`` — NDJSON stream of status snapshots (one line
+  on subscribe, one per state change, final line on completion).
+* ``GET /healthz`` — liveness + drain state.
+* ``GET /metrics`` — operating-point counters (latency percentiles, cache
+  hit rate, dedup rate, queue depth); see :mod:`repro.service.metrics`.
+* ``POST /shutdown`` — graceful shutdown: stop accepting jobs, drain the
+  in-flight queue, close the fork pool, stop the listener.
+
+The module also provides :func:`run_service` (asyncio entry point used by
+``python -m repro.service``) and :class:`ServiceThread` (an in-process
+server on a background thread, used by the tests and the load generator).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..parallel import pool_context
+from .jobs import Job, JobState, SpecError, new_job_id, parse_job_spec, execute_job
+from .metrics import ServiceMetrics
+
+#: Largest accepted request body; job specs are a few hundred bytes.
+MAX_BODY_BYTES = 64 * 1024
+
+#: Longest a single ``?wait=1`` request may block.
+MAX_WAIT_SECONDS = 600.0
+
+#: Completed jobs kept in the table (oldest evicted first).
+JOB_TABLE_LIMIT = 50_000
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    port: int = 8321
+    cache_dir: Optional[str] = None
+    #: >0: fork-pool worker processes; 0: one in-process worker thread
+    #: (no fork — the fallback for restricted environments and tests).
+    workers: int = 1
+    #: Upper bound on waiting for in-flight jobs during graceful shutdown.
+    drain_timeout: float = 120.0
+
+
+class _InFlight:
+    """One running computation plus every submission subscribed to it."""
+
+    __slots__ = ("primary", "subscribers", "future")
+
+    def __init__(self, primary: Job, future: "asyncio.Future") -> None:
+        self.primary = primary
+        self.subscribers: List[Job] = []
+        self.future = future
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str, detail: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = {"error": detail or {"message": message}}
+
+
+class DecompositionService:
+    """Event-loop-owned service state + request handlers."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._events: Dict[str, asyncio.Event] = {}
+        self._inflight: Dict[str, _InFlight] = {}
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        if self.config.workers > 0:
+            self._pool = pool_context().Pool(self.config.workers)
+        else:
+            # One worker thread keeps execution strictly sequential and
+            # fork-free; numpy releases the GIL, so the loop stays live.
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service-worker"
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Drain in-flight jobs, close the pool, stop the listener."""
+        if self._draining:
+            return
+        self._draining = True
+        pending = [entry.future for entry in self._inflight.values()]
+        if pending:
+            await asyncio.wait(pending, timeout=self.config.drain_timeout)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if hasattr(pool, "close"):  # multiprocessing.Pool
+                pool.close()
+                await self._loop.run_in_executor(None, pool.join)
+            else:  # ThreadPoolExecutor
+                await self._loop.run_in_executor(None, pool.shutdown)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Job bookkeeping
+    # ------------------------------------------------------------------
+    def _register_job(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        self._events[job.id] = asyncio.Event()
+        while len(self.jobs) > JOB_TABLE_LIMIT:
+            old_id, old_job = next(iter(self.jobs.items()))
+            if old_job.state in (JobState.DONE, JobState.FAILED):
+                del self.jobs[old_id]
+                self._events.pop(old_id, None)
+            else:
+                break
+
+    def _finish_job(self, job: Job, result: Optional[dict], error: Optional[str]) -> None:
+        job.finish(result, error)
+        self.metrics.record_completion(job.latency_seconds, failed=error is not None)
+        event = self._events.get(job.id)
+        if event is not None:
+            event.set()
+
+    def _submit_to_pool(self, payload: dict) -> "asyncio.Future":
+        """Hand a job payload to the execution backend; returns a future."""
+        loop = self._loop
+        if hasattr(self._pool, "apply_async"):  # multiprocessing.Pool
+            future: asyncio.Future = loop.create_future()
+
+            def _done(result, _future=future):
+                loop.call_soon_threadsafe(
+                    lambda: _future.done() or _future.set_result(result)
+                )
+
+            def _fail(exc, _future=future):
+                loop.call_soon_threadsafe(
+                    lambda: _future.done() or _future.set_exception(exc)
+                )
+
+            self._pool.apply_async(
+                execute_job,
+                (payload, self.config.cache_dir),
+                callback=_done,
+                error_callback=_fail,
+            )
+            return future
+        return asyncio.ensure_future(
+            loop.run_in_executor(self._pool, execute_job, payload, self.config.cache_dir)
+        )
+
+    def submit(self, job: Job) -> None:
+        """Route a validated job: attach to an in-flight twin or execute."""
+        self.metrics.jobs_submitted += 1
+        self._register_job(job)
+        entry = self._inflight.get(job.digest)
+        if entry is not None:
+            job.deduplicated = True
+            job.primary_id = entry.primary.id
+            job.state = JobState.RUNNING
+            entry.subscribers.append(job)
+            self.metrics.dedup_inflight_hits += 1
+            return
+        job.state = JobState.RUNNING
+        future = self._submit_to_pool(job.spec.payload())
+        entry = _InFlight(job, future)
+        self._inflight[job.digest] = entry
+        self.metrics.queue_depth += 1
+        self.metrics.inflight_unique = len(self._inflight)
+        future.add_done_callback(lambda fut: self._on_job_done(job.digest, fut))
+
+    def _on_job_done(self, digest: str, future: "asyncio.Future") -> None:
+        entry = self._inflight.pop(digest, None)
+        self.metrics.queue_depth = max(0, self.metrics.queue_depth - 1)
+        self.metrics.inflight_unique = len(self._inflight)
+        if entry is None:  # pragma: no cover - defensive
+            return
+        error: Optional[str] = None
+        result: Optional[dict] = None
+        try:
+            result = future.result()
+        except Exception as exc:  # worker raised; every subscriber fails too
+            error = f"{type(exc).__name__}: {exc}"
+        if error is None and isinstance(result, dict):
+            self.metrics.record_outcome(bool(result.get("decomposition_cached")))
+        for job in (entry.primary, *entry.subscribers):
+            self._finish_job(job, result, error)
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except HttpError as exc:
+                await self._respond(writer, exc.status, exc.body)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return
+            try:
+                await self._route(writer, method, path, query, body)
+            except HttpError as exc:
+                await self._respond(writer, exc.status, exc.body)
+            except ConnectionError:
+                pass
+            except Exception as exc:  # never leak a traceback as a hung socket
+                await self._respond(
+                    writer, 500,
+                    {"error": {"message": f"internal error: {type(exc).__name__}: {exc}"}},
+                )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, dict, bytes]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            raise ValueError("empty request")
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        parsed = urllib.parse.urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return method.upper(), parsed.path, query, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       body: dict, reason: str = "") -> None:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        reason = reason or {200: "OK", 202: "Accepted", 400: "Bad Request",
+                            404: "Not Found", 405: "Method Not Allowed",
+                            413: "Payload Too Large", 500: "Internal Server Error",
+                            503: "Service Unavailable"}.get(status, "")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload
+        )
+        await writer.drain()
+
+    async def _route(self, writer, method: str, path: str, query: dict,
+                     body: bytes) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, {
+                "status": "draining" if self._draining else "ok",
+                "uptime_seconds": round(time.time() - self.metrics.started_at, 3),
+                "workers": self.config.workers,
+                "inflight": len(self._inflight),
+            })
+            return
+        if path == "/metrics" and method == "GET":
+            await self._respond(writer, 200, self.metrics.snapshot())
+            return
+        if path == "/jobs" and method == "POST":
+            await self._handle_submit(writer, query, body)
+            return
+        if path == "/jobs" and method == "GET":
+            brief = [
+                {"id": job.id, "state": job.state.value, "digest": job.digest,
+                 "deduplicated": job.deduplicated}
+                for job in self.jobs.values()
+            ]
+            await self._respond(writer, 200, {"count": len(brief), "jobs": brief})
+            return
+        if path == "/shutdown" and method == "POST":
+            inflight = len(self._inflight)
+            await self._respond(writer, 202, {"status": "draining", "inflight": inflight})
+            asyncio.ensure_future(self.shutdown())
+            return
+        if path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            job = self.jobs.get(parts[0])
+            if job is None:
+                raise HttpError(404, f"no such job: {parts[0]}")
+            if len(parts) == 1 and method == "GET":
+                await self._handle_status(writer, job, query)
+                return
+            if len(parts) == 2 and parts[1] == "events" and method == "GET":
+                await self._handle_events(writer, job)
+                return
+        raise HttpError(404 if method in ("GET", "POST") else 405,
+                        f"no route for {method} {path}")
+
+    async def _handle_submit(self, writer, query: dict, body: bytes) -> None:
+        if self._draining:
+            raise HttpError(503, "server is draining; not accepting jobs")
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.metrics.jobs_rejected += 1
+            raise HttpError(400, "bad json", {"message": f"request body is not valid JSON: {exc}"})
+        try:
+            spec = parse_job_spec(data)
+        except SpecError as exc:
+            self.metrics.jobs_rejected += 1
+            raise HttpError(400, "bad spec", exc.detail)
+        job = Job(id=new_job_id(), spec=spec, digest=spec.digest())
+        self.submit(job)
+        if _truthy(query.get("wait")):
+            await self._await_job(job, query)
+            await self._respond(writer, 200, job.status())
+            return
+        status = job.status()
+        status["status_url"] = f"/jobs/{job.id}"
+        await self._respond(writer, 202, status)
+
+    async def _await_job(self, job: Job, query: dict) -> bool:
+        """Wait until ``job`` is terminal; returns False on timeout."""
+        timeout = min(MAX_WAIT_SECONDS, _float_param(query, "timeout", 60.0))
+        event = self._events.get(job.id)
+        if event is None or job.state in (JobState.DONE, JobState.FAILED):
+            return True
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def _handle_status(self, writer, job: Job, query: dict) -> None:
+        timed_out = False
+        if _truthy(query.get("wait")):
+            timed_out = not await self._await_job(job, query)
+        status = job.status()
+        if timed_out:
+            status["timed_out"] = True
+        await self._respond(writer, 200, status)
+
+    async def _handle_events(self, writer, job: Job) -> None:
+        """NDJSON status stream: one snapshot now, one when terminal."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        writer.write((json.dumps(job.status(), sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+        if job.state not in (JobState.DONE, JobState.FAILED):
+            event = self._events.get(job.id)
+            if event is not None:
+                try:
+                    await asyncio.wait_for(event.wait(), MAX_WAIT_SECONDS)
+                except asyncio.TimeoutError:
+                    pass
+            writer.write(
+                (json.dumps(job.status(), sort_keys=True) + "\n").encode("utf-8")
+            )
+            await writer.drain()
+
+
+def _truthy(value: Optional[str]) -> bool:
+    return value is not None and value.lower() not in ("", "0", "false", "no")
+
+
+def _float_param(query: dict, name: str, default: float) -> float:
+    try:
+        return float(query.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def run_service(config: ServiceConfig, ready=None) -> None:
+    """Start a service and block until it is shut down.
+
+    ``ready(service)`` is invoked once the listener is bound (the CLI uses
+    it to print/record the actual port; tests use it to capture the
+    service object).
+    """
+    service = DecompositionService(config)
+    await service.start()
+    if ready is not None:
+        ready(service)
+    await service.wait_stopped()
+
+
+class ServiceThread:
+    """An in-process service on a daemon thread (tests, load generator).
+
+    The thread runs its own event loop; ``stop()`` triggers the same
+    graceful shutdown as ``POST /shutdown`` and joins the thread.
+    """
+
+    def __init__(self, **config_kwargs) -> None:
+        config_kwargs.setdefault("port", 0)
+        self.config = ServiceConfig(**config_kwargs)
+        self.service: Optional[DecompositionService] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service thread did not start within 60 s")
+        if self._error is not None:
+            raise RuntimeError(f"service thread failed to start: {self._error}")
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # startup failures surface in __init__
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.service = DecompositionService(self.config)
+        await self.service.start()
+        self.port = self.service.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.service.wait_stopped()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._thread.is_alive() and self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.service.shutdown())
+            )
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
