@@ -27,10 +27,27 @@ Two phases run:
   the remaining N-1 submissions served as in-flight dedup hits.  The run
   exits non-zero if it does not.
 
-The `--out` record (committed as `benchmarks/BENCH_service.json`) stores both
-phases plus the final /metrics scrape.  Latency baselines from a loaded box
-are noisy by nature — the committed record documents the operating point; the
-hard gate is the dedup invariant, not the milliseconds.
+The client is hardened: every request has a per-request timeout and a
+bounded transport-level retry budget, and the summary separates transport
+failures (never got a response) from job failures (a terminal ``failed``
+state) via an overall ``error_rate``.
+
+`--chaos` reruns both phases with the fault-injection harness armed in the
+server (``REPRO_FAULT_SPEC`` with cross-process trigger counters, see
+`docs/RELIABILITY.md`): workers are SIGKILLed on a deterministic cadence
+during the mixed replay, the herd's worker is killed exactly once
+mid-flight, and an occasional cache write is torn.  The gates flip from
+"nothing fails" to "everything *recovers*": every submission reaches a
+terminal state, the herd still collapses to one computation served by the
+crash retry, and the recovery counters (worker deaths, retries) actually
+moved.  The committed record is `benchmarks/BENCH_chaos.json`;
+``--compare`` checks a fresh chaos run against its invariants.
+
+The `--out` record (committed as `benchmarks/BENCH_service.json`, chaos
+variant as `benchmarks/BENCH_chaos.json`) stores both phases plus the final
+/metrics scrape.  Latency baselines from a loaded box are noisy by nature —
+the committed record documents the operating point; the hard gates are the
+dedup and recovery invariants, not the milliseconds.
 """
 
 from __future__ import annotations
@@ -55,6 +72,21 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, os.path.abspath(_SRC))
 
 SCHEMA = "repro-service-loadgen-v1"
+CHAOS_SCHEMA = "repro-service-chaos-v1"
+
+#: The default chaos plan (see repro.faults for the grammar).  Cross-process
+#: counters (REPRO_FAULT_STATE) make every trigger global:
+#: * kill a worker on every 23rd non-herd job — steady crash pressure
+#:   through the mixed replay;
+#: * kill the worker running the herd spec exactly once — the deterministic
+#:   "dedup subscribers survive a mid-flight worker death" scenario;
+#: * tear every 5th cache record write — readers must quarantine the torn
+#:   record and recompute, never serve it.
+CHAOS_FAULT_SPEC = (
+    "worker.job[!lzd-9]:kill%23;"
+    "worker.job[lzd-9]:kill@1;"
+    "cache.store.payload:truncate%5"
+)
 
 #: The mixed-replay menu: (weight, spec).  Small quick widths — the point is
 #: traffic shape (dedup + cache behaviour under concurrency), not cold
@@ -90,6 +122,31 @@ def http_json(url: str, data: bytes | None = None, method: str | None = None,
         return json.loads(response.read())
 
 
+def http_json_retry(url: str, data: bytes | None = None, *,
+                    timeout: float = 120.0, retries: int = 2,
+                    backoff: float = 0.2):
+    """Hardened client call: per-request timeout + bounded transport retry.
+
+    Retries cover *transport* faults only (refused/reset connections, socket
+    timeouts, torn responses) — an HTTP response, even a 5xx or a job in a
+    terminal ``failed`` state, is a result, not a retry trigger.  Returns
+    ``(body, error, attempts)`` where exactly one of body/error is set.
+    """
+    error = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        try:
+            return http_json(url, data, timeout=timeout), None, attempts
+        except urllib.error.HTTPError as exc:
+            return None, f"HTTP {exc.code}", attempts
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            if attempt < retries:
+                time.sleep(backoff * (2 ** attempt))
+    return None, error, attempts
+
+
 def percentile(sorted_values, fraction):
     if not sorted_values:
         return 0.0
@@ -108,38 +165,64 @@ def latency_stats(latencies):
     }
 
 
-def run_phase(base_url: str, payloads, concurrency: int):
-    """Issue every payload with ``concurrency`` blocking client threads."""
+def run_phase(base_url: str, payloads, concurrency: int,
+              request_timeout: float = 300.0, client_retries: int = 2):
+    """Issue every payload with ``concurrency`` blocking client threads.
+
+    Returns a dict separating the ways a submission can end: ``done``,
+    ``failed`` (terminal structured failure — quarantine, timeout, crash),
+    and ``transport_failures`` (no usable response at all, after retries).
+    """
     latencies = []
-    failures = 0
+    done = 0
+    job_failures = 0
+    transport_failures = 0
+    client_retries_used = 0
 
     def one(payload: bytes):
         start = time.perf_counter()
-        try:
-            body = http_json(f"{base_url}/jobs?wait=1&timeout=300", payload)
-            ok = body.get("state") == "done"
-        except (urllib.error.URLError, OSError, ValueError):
-            ok = False
-        return time.perf_counter() - start, ok
+        body, error, attempts = http_json_retry(
+            f"{base_url}/jobs?wait=1&timeout={request_timeout:g}", payload,
+            timeout=request_timeout, retries=client_retries,
+        )
+        state = body.get("state") if isinstance(body, dict) else None
+        return time.perf_counter() - start, state, error, attempts - 1
 
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
-        for elapsed, ok in pool.map(one, payloads):
+        for elapsed, state, error, extra_attempts in pool.map(one, payloads):
             latencies.append(elapsed)
-            if not ok:
-                failures += 1
+            client_retries_used += extra_attempts
+            if state == "done":
+                done += 1
+            elif state == "failed":
+                job_failures += 1
+            else:
+                transport_failures += 1
     wall = time.perf_counter() - start
-    return latencies, failures, wall
+    total = len(payloads)
+    return {
+        "latencies": latencies,
+        "done": done,
+        "job_failures": job_failures,
+        "transport_failures": transport_failures,
+        "client_retries": client_retries_used,
+        "error_rate": round((job_failures + transport_failures) / total, 4) if total else 0.0,
+        "wall": wall,
+    }
 
 
-def start_server(workers: int, cache_dir: str, tmp_dir: str):
+def start_server(workers: int, cache_dir: str, tmp_dir: str,
+                 extra_env: dict | None = None, extra_args: list | None = None):
     """Launch a server subprocess; returns (process, base_url)."""
     port_file = os.path.join(tmp_dir, "service.port")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.service", "--port", "0",
          "--port-file", port_file, "--cache-dir", cache_dir,
-         "--workers", str(workers)],
-        env={**os.environ, "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", "")},
+         "--workers", str(workers), *(extra_args or [])],
+        env={**os.environ,
+             "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+             **(extra_env or {})},
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     deadline = time.time() + 60
@@ -174,7 +257,25 @@ def main(argv=None) -> int:
                         help="workload sampling seed (default 7)")
     parser.add_argument("--out", metavar="OUT.json",
                         help="write the loadgen record to this file")
+    parser.add_argument("--chaos", action="store_true",
+                        help="arm REPRO_FAULT_SPEC in the server: kill workers "
+                             "on a deterministic cadence and tear cache writes; "
+                             "gate on recovery instead of a clean run")
+    parser.add_argument("--fault-spec", default=CHAOS_FAULT_SPEC, metavar="SPEC",
+                        help="override the chaos fault plan (implies --chaos "
+                             "semantics only when --chaos is set)")
+    parser.add_argument("--compare", metavar="BASELINE.json", default=None,
+                        help="check this run's invariants against a committed "
+                             "record (herd dedup; with --chaos also recovery)")
+    parser.add_argument("--request-timeout", type=float, default=300.0,
+                        help="per-request client timeout in seconds (default 300)")
+    parser.add_argument("--client-retries", type=int, default=2,
+                        help="transport-level retries per request (default 2)")
     args = parser.parse_args(argv)
+
+    if args.chaos and args.server:
+        parser.error("--chaos launches its own server; it cannot target --server "
+                     "(the fault environment must be set before the server starts)")
 
     rng = random.Random(args.seed)
     weighted = [spec for weight, spec in SPEC_MENU for _ in range(weight)]
@@ -194,7 +295,23 @@ def main(argv=None) -> int:
         else:
             workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
             cache_dir = os.path.join(tmp_context.name, "cache")
-            process, base_url = start_server(workers, cache_dir, tmp_context.name)
+            extra_env = None
+            extra_args = None
+            if args.chaos:
+                fault_state = os.path.join(tmp_context.name, "fault-state")
+                os.makedirs(fault_state, exist_ok=True)
+                extra_env = {
+                    "REPRO_FAULT_SPEC": args.fault_spec,
+                    "REPRO_FAULT_STATE": fault_state,
+                }
+                # A deeper retry budget: a kill breaks the whole pool, so
+                # collateral attempts are lost alongside the targeted one.
+                extra_args = ["--max-retries", "4"]
+                print(f"chaos plan: {args.fault_spec}")
+            process, base_url = start_server(
+                workers, cache_dir, tmp_context.name,
+                extra_env=extra_env, extra_args=extra_args,
+            )
 
         health = http_json(f"{base_url}/healthz")
         print(f"server {base_url}: {health['status']}, workers={health['workers']}")
@@ -202,50 +319,69 @@ def main(argv=None) -> int:
         # ---------------- phase 1: mixed replay ----------------
         print(f"replaying {args.requests} mixed requests "
               f"({len(SPEC_MENU)} distinct specs, concurrency {args.concurrency}) ...")
-        latencies, failures, wall = run_phase(base_url, payloads, args.concurrency)
+        outcome = run_phase(base_url, payloads, args.concurrency,
+                            args.request_timeout, args.client_retries)
         mixed_metrics = http_json(f"{base_url}/metrics")
+        failures = outcome["job_failures"] + outcome["transport_failures"]
         mixed = {
             "requests": args.requests,
             "concurrency": args.concurrency,
             "distinct_specs": len(SPEC_MENU),
             "failures": failures,
-            "wall_seconds": round(wall, 3),
-            "throughput_rps": round(args.requests / wall, 1) if wall else 0.0,
-            "latency": latency_stats(latencies),
+            "job_failures": outcome["job_failures"],
+            "transport_failures": outcome["transport_failures"],
+            "client_retries": outcome["client_retries"],
+            "error_rate": outcome["error_rate"],
+            "wall_seconds": round(outcome["wall"], 3),
+            "throughput_rps": round(args.requests / outcome["wall"], 1)
+                              if outcome["wall"] else 0.0,
+            "latency": latency_stats(outcome["latencies"]),
         }
         print(f"  {mixed['throughput_rps']} req/s, "
               f"p50 {mixed['latency']['p50_ms']} ms, "
               f"p99 {mixed['latency']['p99_ms']} ms, "
               f"cache hit rate {mixed_metrics['cache']['hit_rate']:.1%}, "
               f"dedup rate {mixed_metrics['dedup']['rate']:.1%}, "
-              f"failures {failures}")
+              f"error rate {mixed['error_rate']:.2%} "
+              f"({outcome['job_failures']} job / "
+              f"{outcome['transport_failures']} transport)")
 
         # ---------------- phase 2: thundering herd ----------------
         before = http_json(f"{base_url}/metrics")
         print(f"thundering herd: {args.herd} identical concurrent submissions "
               f"(held in flight {args.herd_delay_ms} ms) ...")
-        herd_latencies, herd_failures, herd_wall = run_phase(
-            base_url, [herd_payload] * args.herd, args.herd
-        )
+        herd_outcome = run_phase(base_url, [herd_payload] * args.herd, args.herd,
+                                 args.request_timeout, args.client_retries)
         after = http_json(f"{base_url}/metrics")
         computations = after["cache"]["misses"] - before["cache"]["misses"]
         dedup_hits = after["dedup"]["inflight_hits"] - before["dedup"]["inflight_hits"]
+        herd_deaths = (after["reliability"]["worker_deaths"]
+                       - before["reliability"]["worker_deaths"])
+        herd_failures = herd_outcome["job_failures"] + herd_outcome["transport_failures"]
         herd = {
             "submissions": args.herd,
             "delay_ms": args.herd_delay_ms,
             "computations": computations,
             "dedup_inflight_hits": dedup_hits,
+            "worker_deaths": herd_deaths,
             "failures": herd_failures,
-            "wall_seconds": round(herd_wall, 3),
-            "latency": latency_stats(herd_latencies),
+            "wall_seconds": round(herd_outcome["wall"], 3),
+            "latency": latency_stats(herd_outcome["latencies"]),
         }
+        # The dedup invariant: one computation serves the whole herd.  Under
+        # chaos the herd's worker is killed exactly once mid-flight, so the
+        # same invariant passing *plus* a recorded death proves the retry
+        # served every subscriber.
         herd_ok = computations == 1 and dedup_hits == args.herd - 1 and herd_failures == 0
+        if args.chaos:
+            herd_ok = herd_ok and herd_deaths >= 1
         print(f"  {args.herd} submissions -> {computations} computation(s), "
-              f"{dedup_hits} in-flight dedup hits: "
+              f"{dedup_hits} in-flight dedup hits, "
+              f"{herd_deaths} worker death(s): "
               f"{'OK' if herd_ok else 'DEDUP FAILURE'}")
 
         record = {
-            "schema": SCHEMA,
+            "schema": CHAOS_SCHEMA if args.chaos else SCHEMA,
             "python": platform.python_version(),
             "seed": args.seed,
             "server_workers": health["workers"],
@@ -253,6 +389,15 @@ def main(argv=None) -> int:
             "herd": herd,
             "metrics": after,
         }
+        if args.chaos:
+            record["chaos"] = {
+                "fault_spec": args.fault_spec,
+                "worker_deaths": after["reliability"]["worker_deaths"],
+                "retries": after["reliability"]["retries"],
+                "timeouts": after["reliability"]["timeouts"],
+                "quarantined_jobs": after["reliability"]["quarantined_jobs"],
+                "corrupt_records": after["cache"].get("corrupt_records", 0),
+            }
         if args.out:
             with open(args.out, "w") as handle:
                 json.dump(record, handle, indent=2, sort_keys=True)
@@ -264,17 +409,57 @@ def main(argv=None) -> int:
             process.wait(timeout=120)
             process = None
 
-        if failures:
-            print(f"FAILURE: {failures} mixed requests did not complete")
-            return 1
-        if not herd_ok:
-            print("FAILURE: thundering herd did not deduplicate to one computation")
-            return 1
-        return 0
+        return evaluate_gates(args, record, after)
     finally:
         if process is not None:
             process.kill()
         tmp_context.cleanup()
+
+
+def evaluate_gates(args, record, metrics) -> int:
+    """Exit-code policy: clean runs gate on zero failures, chaos runs gate
+    on recovery (every job terminal, herd served through the crash)."""
+    mixed, herd = record["mixed"], record["herd"]
+    failed = []
+    if mixed["transport_failures"]:
+        failed.append(f"{mixed['transport_failures']} mixed requests got no response")
+    if not args.chaos and mixed["job_failures"]:
+        failed.append(f"{mixed['job_failures']} mixed jobs failed")
+    if args.chaos:
+        # "No lost jobs": every submission reached a terminal state and the
+        # server's books balance — nothing stuck in flight, nothing dropped.
+        jobs = metrics["jobs"]
+        if jobs["submitted"] != jobs["completed"] + jobs["failed"]:
+            failed.append(
+                f"lost jobs: submitted {jobs['submitted']} != "
+                f"completed {jobs['completed']} + failed {jobs['failed']}"
+            )
+        if metrics["queue"]["depth"] != 0:
+            failed.append(f"queue depth {metrics['queue']['depth']} after drain")
+        if metrics["reliability"]["worker_deaths"] < 1:
+            failed.append("chaos run recorded no worker deaths — harness inert?")
+    if not (herd["computations"] == 1
+            and herd["dedup_inflight_hits"] == herd["submissions"] - 1
+            and herd["failures"] == 0
+            and (not args.chaos or herd["worker_deaths"] >= 1)):
+        failed.append("thundering herd did not collapse to one computation"
+                      + (" surviving a worker death" if args.chaos else ""))
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        if baseline.get("schema") != record["schema"]:
+            failed.append(
+                f"baseline schema {baseline.get('schema')!r} != {record['schema']!r}"
+            )
+        base_herd = baseline.get("herd", {})
+        if base_herd.get("computations") != herd["computations"]:
+            failed.append(
+                f"herd computations {herd['computations']} != baseline "
+                f"{base_herd.get('computations')}"
+            )
+    for message in failed:
+        print(f"FAILURE: {message}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

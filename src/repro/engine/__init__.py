@@ -28,6 +28,7 @@ from .cache import (
     DecompositionCache,
     SynthesisCache,
     cache_key,
+    corrupt_record_count,
     decomposition_digest,
     deserialize_decomposition,
     netlist_digest,
@@ -68,6 +69,7 @@ __all__ = [
     "SynthesisCache",
     "cache_key",
     "collecting_pass_timings",
+    "corrupt_record_count",
     "decompose_cached",
     "decomposition_digest",
     "deserialize_decomposition",

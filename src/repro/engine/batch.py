@@ -30,6 +30,9 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -39,6 +42,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 # orchestrator is the engine's parallelism front door.
 from ..parallel import (  # noqa: F401  (re-exports)
     SHARD_ENV,
+    in_pool_worker,
+    mark_pool_worker,
     pool_context,
     shard_chunks,
     shard_map,
@@ -237,15 +242,39 @@ def map_parallel(func: Callable, items: Sequence, processes: Optional[int] = Non
     ``processes=1`` (or a single item) degrades to a plain in-process loop,
     which keeps the orchestrator usable in environments where forking is
     restricted (set ``processes=1`` there).
+
+    The pool is a :class:`~concurrent.futures.ProcessPoolExecutor`, whose
+    broken-pool detection is the supervision primitive: when any worker dies
+    mid-batch (OOM kill, segfault, SIGKILL) every pending future raises
+    :class:`BrokenProcessPool` instead of hanging.  The whole map then
+    re-runs serially in-process with a ``RuntimeWarning`` — ``func`` is pure,
+    so the rerun produces identical results.
     """
     items = list(items)
     if not items:
         return []
+    if in_pool_worker():
+        # A job body already running under a worker pool must not fork a
+        # second level of workers.
+        return [func(item) for item in items]
     workers = _pool_processes(processes, len(items))
     if workers == 1:
         return [func(item) for item in items]
-    with pool_context().Pool(workers) as pool:
-        return pool.map(func, items, chunksize=1)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=pool_context(),
+            initializer=mark_pool_worker,
+        ) as pool:
+            return list(pool.map(func, items, chunksize=1))
+    except BrokenProcessPool:
+        warnings.warn(
+            "a batch worker died mid-run; re-running the batch serially "
+            "in-process (results are unaffected)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [func(item) for item in items]
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,24 @@ cell and depth counts) — warm Table-1/figure re-runs skip technology mapping
 and timing entirely.
 
 Writes are atomic (tmp file + rename), so many orchestrator workers can
-share one cache directory without locking.
+share one cache directory without locking.  For *shared storage* with
+concurrent writers from several machines, two opt-in hardening knobs exist:
+``REPRO_CACHE_LOCK=1`` takes an advisory ``fcntl`` lock on ``<root>/.lock``
+around every write (tmp create → rename), so index updates and record
+stores from different hosts serialise instead of interleaving, and
+``REPRO_CACHE_FSYNC=1`` fsyncs the record file and its directory before the
+rename is considered durable (crash-consistency on filesystems that reorder
+metadata).  Readers never need either: a record is only visible complete.
+
+Torn or corrupt records (a killed writer on a non-atomic filesystem, bad
+blocks, a foreign file at a key path) are *quarantined*: the damaged file is
+atomically renamed to ``<name>.corrupt`` next to where it lay, the lookup
+reports a miss (so the caller recomputes), and the telemetry ``corrupt``
+counter advances — silent recompute loops on a poisoned record are visible
+instead of invisible.  Write/read paths carry named fault-injection sites
+(``cache.store``, ``cache.store.payload``, ``cache.store.rename``,
+``cache.index.*``, ``cache.load`` — see :mod:`repro.faults`), which the
+crash-consistency property tests drive.
 """
 
 from __future__ import annotations
@@ -28,9 +45,12 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
 from typing import List, Optional
+
+from .. import faults
 
 from ..anf.context import Context
 from ..anf.expression import Anf
@@ -161,19 +181,90 @@ def deserialize_decomposition(data: dict) -> Decomposition:
     )
 
 
-def _atomic_json_dump(directory: Path, path: Path, data: dict) -> None:
-    """Write ``data`` as compact JSON via tmp-file + rename (crash-safe)."""
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+#: Advisory-lock and durability knobs for shared-storage cache directories.
+LOCK_ENV = "REPRO_CACHE_LOCK"
+FSYNC_ENV = "REPRO_CACHE_FSYNC"
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+@contextmanager
+def _cache_lock(root: Path):
+    """Advisory exclusive lock on ``<root>/.lock`` when ``REPRO_CACHE_LOCK`` is set.
+
+    A no-op by default (atomic renames already keep single-host writers
+    safe), and degrades to a no-op where ``fcntl`` does not exist.
+    """
+    if not _env_truthy(LOCK_ENV):
+        yield
+        return
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(data, handle, separators=(",", ":"))
-        os.replace(tmp_path, path)
-    except BaseException:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(root / ".lock", "a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
         try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - directory fsync is best-effort
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(root: Path, path: Path, payload: bytes, site: str) -> None:
+    """Write ``payload`` via tmp-file + rename (crash-safe), with fault sites.
+
+    ``site`` names the fault-injection point family: ``<site>`` fires before
+    anything is written, ``<site>.payload`` may tear the bytes, and
+    ``<site>.rename`` sits in the crash window between the tmp write and the
+    atomic rename (a ``skip`` fault there abandons the rename exactly as a
+    crash would, leaving the tmp file behind and the record absent).
+    """
+    tag = path.name
+    faults.hit(site, tag=tag)
+    payload = faults.mutate(f"{site}.payload", payload, tag=tag)
+    directory = path.parent
+    with _cache_lock(root):
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                if _env_truthy(FSYNC_ENV):
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            if faults.should_skip(f"{site}.rename", tag=tag):
+                return  # simulated crash: tmp file left, record never lands
+            os.replace(tmp_path, path)
+            if _env_truthy(FSYNC_ENV):
+                _fsync_dir(directory)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+def _atomic_json_dump(root: Path, path: Path, data: dict,
+                      site: str = "cache.store") -> None:
+    """Write ``data`` as compact JSON via tmp-file + rename (crash-safe)."""
+    payload = json.dumps(data, separators=(",", ":")).encode("utf-8")
+    _atomic_write_bytes(root, path, payload, site)
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +288,8 @@ class CacheTelemetry:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Torn/invalid records quarantined to ``*.corrupt`` sidecars.
+        self.corrupt = 0
 
     def record_lookup(self, hit: bool) -> None:
         if hit:
@@ -206,6 +299,9 @@ class CacheTelemetry:
 
     def record_store(self) -> None:
         self.stores += 1
+
+    def record_corrupt(self) -> None:
+        self.corrupt += 1
 
     @property
     def lookups(self) -> int:
@@ -222,11 +318,26 @@ class CacheTelemetry:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate, 4),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"CacheTelemetry(hits={self.hits}, misses={self.misses}, stores={self.stores})"
+        return (f"CacheTelemetry(hits={self.hits}, misses={self.misses}, "
+                f"stores={self.stores}, corrupt={self.corrupt})")
+
+
+def corrupt_record_count(root: str | os.PathLike) -> int:
+    """How many quarantined ``*.corrupt`` sidecars live under ``root``.
+
+    Counts recursively (records, job index, synthesis sub-store), so a
+    service can report shared-store damage even when the quarantining
+    happened inside short-lived worker processes.
+    """
+    root_path = Path(root)
+    if not root_path.is_dir():
+        return 0
+    return sum(1 for _ in root_path.rglob("*.corrupt"))
 
 
 # ----------------------------------------------------------------------
@@ -263,7 +374,8 @@ class DecompositionCache:
 
         A corrupt, truncated, or structurally invalid record (e.g. from a
         killed writer on a filesystem without atomic rename, or a foreign
-        file at the key path) is treated as a miss.
+        file at the key path) is treated as a miss and quarantined to a
+        ``*.corrupt`` sidecar so the damage is visible and never re-read.
         """
         raw = self.load_raw(key)
         if raw is None:
@@ -271,6 +383,7 @@ class DecompositionCache:
         try:
             return deserialize_decomposition(raw)
         except (KeyError, TypeError, ValueError):
+            self._quarantine(self._path(key))
             return None
 
     def load_raw(self, key: str) -> Optional[dict]:
@@ -286,18 +399,35 @@ class DecompositionCache:
             self.telemetry.record_lookup(record is not None)
         return record
 
+    def _quarantine(self, path: Path) -> None:
+        """Atomically move a damaged record aside as ``<name>.corrupt``."""
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            return  # a concurrent reader already moved it, or it vanished
+        if self.telemetry is not None:
+            self.telemetry.record_corrupt()
+
     def _read_record(self, key: str) -> Optional[dict]:
         path = self._path(key)
         try:
-            with open(path) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+            faults.hit("cache.load", tag=path.name)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
             return None
-        if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+        except OSError:
+            return None  # transient I/O failure: miss, but nothing to blame
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
             return None
         required = ("names", "options", "primary_inputs", "original",
                     "outputs", "blocks", "iterations")
-        if any(field_name not in record for field_name in required):
+        if (not isinstance(record, dict) or record.get("schema") != SCHEMA
+                or any(field_name not in record for field_name in required)):
+            self._quarantine(path)
             return None
         return record
 
@@ -337,17 +467,10 @@ class DecompositionCache:
         """Atomically record a job fingerprint -> content key association."""
         index_dir = self.root / "index"
         index_dir.mkdir(exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=index_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(content_key)
-            os.replace(tmp_path, self._index_path(job_key))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        _atomic_write_bytes(
+            self.root, self._index_path(job_key),
+            content_key.encode("utf-8"), site="cache.index",
+        )
 
     def clear(self) -> int:
         """Delete every record (and the job index); returns how many records."""
@@ -355,8 +478,9 @@ class DecompositionCache:
         for path in self.root.glob("*.json"):
             path.unlink()
             removed += 1
-        for path in self.root.glob("index/*.key"):
-            path.unlink()
+        for pattern in ("index/*.key", "*.corrupt", "index/*.corrupt"):
+            for path in self.root.glob(pattern):
+                path.unlink()
         return removed
 
     def __len__(self) -> int:
@@ -450,18 +574,37 @@ class SynthesisCache:
             self.telemetry.record_lookup(record is not None)
         return record
 
-    def _read_record(self, key: str) -> Optional[dict]:
+    def _quarantine(self, path: Path) -> None:
         try:
-            with open(self._path(key)) as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            return
+        if self.telemetry is not None:
+            self.telemetry.record_corrupt()
+
+    def _read_record(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            faults.hit("cache.load", tag=path.name)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
             return None
         if not isinstance(record, dict) or record.get("schema") != SYNTH_SCHEMA:
+            self._quarantine(path)
             return None
         for field_name in SYNTH_METRIC_FIELDS:
             value = record.get(field_name)
             # bool is an int subclass; a true/false metric is still corrupt.
             if not isinstance(value, (int, float)) or isinstance(value, bool):
+                self._quarantine(path)
                 return None
         return record
 
@@ -479,6 +622,8 @@ class SynthesisCache:
         for path in self.root.glob("*.json"):
             path.unlink()
             removed += 1
+        for path in self.root.glob("*.corrupt"):
+            path.unlink()
         return removed
 
     def __len__(self) -> int:

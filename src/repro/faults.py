@@ -1,0 +1,321 @@
+"""Deterministic fault injection for the reliability/chaos test harness.
+
+Production code is sprinkled with *named fault sites* — one-line calls that
+are inert (a single environment lookup) unless ``REPRO_FAULT_SPEC`` is set.
+A fault spec arms one or more sites with an action and a deterministic
+trigger, so the chaos suite and ``run_loadgen.py --chaos`` can kill workers,
+tear cache writes and delay I/O at exactly reproducible points instead of
+hoping a race fires.
+
+Grammar (semicolon-separated clauses)::
+
+    REPRO_FAULT_SPEC = clause (';' clause)*
+    clause           = site ['[' filter ']'] ':' action [':' arg] [trigger]
+    trigger          = '@' N   fire on the Nth matching hit only
+                     | '%' N   fire on every Nth matching hit (N, 2N, ...)
+                     | 'x' N   fire on the first N matching hits
+                     (default: 'x1' — fire once)
+
+``filter`` is matched as a substring of the ``tag`` the site reports (a
+leading ``!`` negates: fire only when the tag does *not* contain it), so a
+clause can target one job ("``worker.job[lzd-9]:kill@1``") or everything but
+it ("``worker.job[!lzd-9]:kill%7``").
+
+Actions:
+
+``kill``
+    SIGKILL the current process (a worker crash, not an exception).
+``exc``
+    Raise :class:`InjectedFault` (a deterministic in-band failure).
+``err``
+    Raise :class:`OSError` (an I/O failure at a storage site).
+``sleep``
+    Sleep ``arg`` seconds (default 1.0) — a slow disk or a hung worker.
+``truncate``
+    Data sites only: keep the first ``arg`` bytes of the payload
+    (default: half) — a torn write that a crashed renamer made visible.
+``corrupt``
+    Data sites only: overwrite the payload's tail with garbage bytes.
+``skip``
+    Skip-checked operations only (the rename of a tmp file): return
+    without performing the operation, simulating a crash *between* the
+    write and the rename — the record never lands, the tmp file remains.
+
+Hit counters live on the parsed plan, which is cached per process keyed by
+the exact spec string: counters are **per process**, so every fork-pool
+worker counts its own hits (a ``%7`` kill clause kills each worker on *its*
+seventh matching hit).  Forked children inherit the parent's counters as of
+the fork, which is zero for the usual "server forks workers before any job
+runs" topology.
+
+Set ``REPRO_FAULT_STATE`` to a directory to make counters **global**
+instead: every process counts hits through one flock-guarded file per
+clause, so ``kill@1`` means "kill exactly one worker, ever" — the retry of
+the killed job lands in a fresh worker whose trigger is already spent.
+This is what gives the chaos suite a deterministic
+"worker dies once, supervision recovers" scenario.
+
+Known sites (see ``docs/RELIABILITY.md`` for the full table):
+
+========================  =====================================================
+``worker.job``            start of a service/pool job body (tag: circuit-width)
+``cache.store``           before a cache record write begins
+``cache.store.payload``   the record bytes about to be written (data site)
+``cache.store.rename``    between tmp-file write and the atomic rename
+``cache.index``           before a job-index write begins
+``cache.index.payload``   the job-index bytes about to be written (data site)
+``cache.index.rename``    between index tmp write and its rename
+``cache.load``            before a cache record read
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+ENV = "REPRO_FAULT_SPEC"
+
+#: Directory for cross-process hit counters (one flock-guarded file per
+#: clause).  Unset: counters are per process (plain attributes, no I/O).
+STATE_ENV = "REPRO_FAULT_STATE"
+
+#: Actions that affect control flow at any site.
+_CONTROL_ACTIONS = ("kill", "exc", "err", "sleep")
+#: Actions that transform a payload at data (``mutate``) sites.
+_DATA_ACTIONS = ("truncate", "corrupt")
+_ACTIONS = _CONTROL_ACTIONS + _DATA_ACTIONS + ("skip",)
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic exception the ``exc`` action raises."""
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``REPRO_FAULT_SPEC`` value."""
+
+
+@dataclass
+class FaultClause:
+    """One armed site: action, optional argument, trigger, tag filter."""
+
+    site: str
+    action: str
+    arg: Optional[str] = None
+    filter: Optional[str] = None
+    negate: bool = False
+    mode: str = "first"  # 'at' (@N), 'every' (%N), 'first' (xN)
+    n: int = 1
+    hits: int = field(default=0, compare=False)
+
+    def matches(self, site: str, tag: Optional[str]) -> bool:
+        if site != self.site:
+            return False
+        if self.filter is None:
+            return True
+        contained = self.filter in (tag or "")
+        return not contained if self.negate else contained
+
+    def decide(self, count: int) -> bool:
+        """True when the trigger says to act on the ``count``-th matching hit."""
+        if self.mode == "at":
+            return count == self.n
+        if self.mode == "every":
+            return count % self.n == 0
+        return count <= self.n
+
+    def fires(self) -> bool:
+        """Count a matching hit locally; True when the trigger says to act."""
+        self.hits += 1
+        return self.decide(self.hits)
+
+    def arg_float(self, default: float) -> float:
+        if self.arg is None:
+            return default
+        try:
+            return float(self.arg)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault clause {self.site}:{self.action} has non-numeric arg {self.arg!r}"
+            )
+
+    def arg_int(self, default: int) -> int:
+        return int(self.arg_float(default))
+
+
+def _parse_clause(text: str) -> FaultClause:
+    head, sep, rest = text.partition(":")
+    if not sep:
+        raise FaultSpecError(f"fault clause {text!r} has no action (want site:action)")
+    site = head.strip()
+    filter_text: Optional[str] = None
+    negate = False
+    if "[" in site:
+        site, _, filter_part = site.partition("[")
+        if not filter_part.endswith("]"):
+            raise FaultSpecError(f"unterminated filter in fault clause {text!r}")
+        filter_text = filter_part[:-1]
+        if filter_text.startswith("!"):
+            negate = True
+            filter_text = filter_text[1:]
+        if not filter_text:
+            raise FaultSpecError(f"empty filter in fault clause {text!r}")
+    # Trailing trigger: @N / %N / xN.  Scan from the right so an action
+    # argument (e.g. sleep:0.5) is never mistaken for a trigger.
+    mode, n = "first", 1
+    body = rest.strip()
+    for marker, mode_name in (("@", "at"), ("%", "every"), ("x", "first")):
+        pos = body.rfind(marker)
+        if pos > 0 and body[pos + 1:].isdigit():
+            # 'x' is only a trigger when it follows the action/arg, i.e. the
+            # text before it ends the action token; all action names are
+            # marker-free, so a digit suffix is unambiguous.
+            mode, n = mode_name, int(body[pos + 1:])
+            body = body[:pos]
+            break
+    if n < 1:
+        raise FaultSpecError(f"fault trigger count must be >= 1 in {text!r}")
+    action, _, arg = body.partition(":")
+    action = action.strip()
+    arg = arg.strip() or None
+    if action not in _ACTIONS:
+        raise FaultSpecError(
+            f"unknown fault action {action!r} in {text!r} (want one of {sorted(_ACTIONS)})"
+        )
+    if not site:
+        raise FaultSpecError(f"empty site in fault clause {text!r}")
+    return FaultClause(site=site, action=action, arg=arg,
+                       filter=filter_text, negate=negate, mode=mode, n=n)
+
+
+def parse_spec(spec: str) -> List[FaultClause]:
+    """Parse a full ``REPRO_FAULT_SPEC`` string into clauses."""
+    clauses = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            clauses.append(_parse_clause(chunk))
+    return clauses
+
+
+# ----------------------------------------------------------------------
+# Per-process active plan (counters live on the cached clauses)
+# ----------------------------------------------------------------------
+_plan_spec: Optional[str] = None
+_plan_clauses: List[FaultClause] = []
+
+
+def _active_clauses() -> List[FaultClause]:
+    global _plan_spec, _plan_clauses
+    spec = os.environ.get(ENV, "")
+    if spec != _plan_spec:
+        _plan_clauses = parse_spec(spec)
+        _plan_spec = spec
+    return _plan_clauses
+
+
+def reset() -> None:
+    """Forget the cached plan and all hit counters (test hygiene)."""
+    global _plan_spec, _plan_clauses
+    _plan_spec = None
+    _plan_clauses = []
+
+
+def _count_hit(index: int, clause: FaultClause) -> int:
+    """Record one matching hit; returns the clause's total so far.
+
+    With ``REPRO_FAULT_STATE`` set the count is global across processes
+    (flock-guarded file per clause index); otherwise it is the plain
+    per-process attribute.  Either way ``clause.hits`` mirrors the latest
+    count for :func:`snapshot`.
+    """
+    state_dir = os.environ.get(STATE_ENV)
+    if not state_dir:
+        clause.hits += 1
+        return clause.hits
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: fall back to per-process counting
+        clause.hits += 1
+        return clause.hits
+    path = os.path.join(state_dir, f"clause-{index}.count")
+    with open(path, "a+", encoding="utf-8") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        handle.seek(0)
+        raw = handle.read().strip()
+        count = (int(raw) if raw else 0) + 1
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(count))
+        handle.flush()
+    clause.hits = count
+    return count
+
+
+def _fired(site: str, tag: Optional[str]) -> List[FaultClause]:
+    fired = []
+    for index, clause in enumerate(_active_clauses()):
+        if clause.matches(site, tag) and clause.decide(_count_hit(index, clause)):
+            fired.append(clause)
+    return fired
+
+
+def _apply_control(clause: FaultClause, site: str) -> None:
+    if clause.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif clause.action == "exc":
+        raise InjectedFault(f"injected fault at {site}")
+    elif clause.action == "err":
+        raise OSError(f"injected I/O fault at {site}")
+    elif clause.action == "sleep":
+        time.sleep(clause.arg_float(1.0))
+
+
+def hit(site: str, tag: Optional[str] = None) -> None:
+    """Control-flow fault site: may kill, raise, or delay.  Inert when unarmed."""
+    if not os.environ.get(ENV):
+        return
+    for clause in _fired(site, tag):
+        _apply_control(clause, site)
+
+
+def mutate(site: str, data: bytes, tag: Optional[str] = None) -> bytes:
+    """Data fault site: may also truncate or corrupt ``data`` before returning it."""
+    if not os.environ.get(ENV):
+        return data
+    for clause in _fired(site, tag):
+        if clause.action == "truncate":
+            data = data[: clause.arg_int(max(0, len(data) // 2))]
+        elif clause.action == "corrupt":
+            keep = max(0, len(data) - 16)
+            data = data[:keep] + b"\x00\xffGARBAGE\xfe\x00<<<<<"[: len(data) - keep]
+        else:
+            _apply_control(clause, site)
+    return data
+
+
+def should_skip(site: str, tag: Optional[str] = None) -> bool:
+    """Skip-check fault site (e.g. the rename of a written tmp file).
+
+    Returns True when an armed ``skip`` clause fires — the caller must
+    abandon the operation exactly as a crash at that point would, leaving
+    any partial state (the tmp file) behind.  Control actions also apply
+    here, so ``cache.store.rename:kill`` dies *between* write and rename.
+    """
+    if not os.environ.get(ENV):
+        return False
+    skip = False
+    for clause in _fired(site, tag):
+        if clause.action == "skip":
+            skip = True
+        else:
+            _apply_control(clause, site)
+    return skip
+
+
+def snapshot() -> List[Tuple[str, str, int]]:
+    """(site, action, hits) per armed clause — observability for tests."""
+    return [(c.site, c.action, c.hits) for c in _active_clauses()]

@@ -21,6 +21,8 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
+import warnings
 from typing import Callable, List, Optional, Sequence
 
 #: Environment switch for sharding the independent units *inside* one
@@ -29,8 +31,48 @@ from typing import Callable, List, Optional, Sequence
 #: bit-identical default.
 SHARD_ENV = "REPRO_SHARD_PASSES"
 
+#: How often the in-flight shard map checks pool-worker liveness (seconds).
+#: Purely a supervision cadence — results return the instant they are ready.
+WORKER_POLL_SECONDS = 0.05
+
 _shard_pool_instance = None
 _shard_pool_size = 0
+
+#: True inside any worker process this package forked (set by the pool
+#: initializer).  ``multiprocessing.Pool`` workers are daemonic and already
+#: self-identify; ``concurrent.futures`` process workers are not, so the
+#: flag keeps the "two parallelism levels never stack" invariant across
+#: both pool flavours.
+_pool_worker = False
+
+
+def mark_pool_worker() -> None:
+    """Pool initializer: flag this process as a fork-pool worker.
+
+    Also detaches inherited signal plumbing: a forked worker shares the
+    parent's signal wakeup fd (asyncio's self-pipe) and Python-level
+    handlers, so a SIGTERM delivered to the *worker* (e.g. by
+    ``ProcessPoolExecutor`` tearing down a broken pool) would be echoed
+    into the parent's event loop as if the parent itself were signalled —
+    triggering a spurious graceful shutdown.  The worker must own its own
+    signal fate.
+    """
+    global _pool_worker
+    _pool_worker = True
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # non-main thread or closed fd: nothing shared
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
+def in_pool_worker() -> bool:
+    """True in a process forked by any of this package's worker pools."""
+    return _pool_worker or multiprocessing.current_process().daemon
 
 
 def pool_context():
@@ -50,7 +92,7 @@ def shard_workers() -> Optional[int]:
     value = os.environ.get(SHARD_ENV, "").strip().lower()
     if not value or value in ("0", "false", "no", "off"):
         return None
-    if multiprocessing.current_process().daemon:
+    if in_pool_worker():
         return None
     try:
         count = int(value)
@@ -80,10 +122,20 @@ def _shard_pool(workers: int):
     global _shard_pool_instance, _shard_pool_size
     if _shard_pool_instance is None or _shard_pool_size != workers:
         _close_shard_pool()
-        _shard_pool_instance = pool_context().Pool(workers)
+        _shard_pool_instance = pool_context().Pool(
+            workers, initializer=mark_pool_worker
+        )
         _shard_pool_size = workers
         atexit.register(_close_shard_pool)
     return _shard_pool_instance
+
+
+def _pool_worker_pids(pool) -> Optional[frozenset]:
+    """The pool's current worker PIDs, or ``None`` if unobservable."""
+    processes = getattr(pool, "_pool", None)
+    if not processes:
+        return None
+    return frozenset(proc.pid for proc in processes)
 
 
 def shard_map(func: Callable, items: Sequence) -> list:
@@ -92,12 +144,39 @@ def shard_map(func: Callable, items: Sequence) -> list:
     Results come back in item order, so callers that pick "the first best"
     are bit-identical to the serial loop.  With sharding disabled, one item,
     or a single worker this *is* the serial loop.
+
+    The map is supervised: a pool worker that dies mid-map (OOM kill,
+    segfault, SIGKILL) would otherwise lose its in-flight task and hang the
+    ``map`` forever — ``multiprocessing.Pool`` respawns the worker but never
+    completes the lost task.  The in-flight result is therefore polled
+    against the worker PID set; on any death the broken pool is torn down
+    and the whole map re-runs serially in-process (``func`` is pure, so the
+    serial rerun is bit-identical), with a ``RuntimeWarning`` naming the
+    fallback.
     """
     items = list(items)
     workers = shard_workers()
     if workers is None or workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
-    return _shard_pool(workers).map(func, items, chunksize=1)
+    pool = _shard_pool(workers)
+    initial_pids = _pool_worker_pids(pool)
+    async_result = pool.map_async(func, items, chunksize=1)
+    while True:
+        async_result.wait(WORKER_POLL_SECONDS)
+        if async_result.ready():
+            return async_result.get()
+        current_pids = _pool_worker_pids(pool)
+        if initial_pids is not None and current_pids != initial_pids:
+            # A worker died and was respawned (or the pool lost workers):
+            # its in-flight task is gone and the map would hang.
+            _close_shard_pool()
+            warnings.warn(
+                "a pass-shard worker died mid-map; re-running this map "
+                "serially in-process (results are unaffected)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [func(item) for item in items]
 
 
 def shard_chunks(items: Sequence, parts: int) -> List[list]:

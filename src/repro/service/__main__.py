@@ -37,6 +37,15 @@ def main(argv=None) -> int:
                         help="write the bound port to PATH once listening")
     parser.add_argument("--drain-timeout", type=float, default=120.0,
                         help="max seconds to wait for in-flight jobs on shutdown")
+    parser.add_argument("--job-timeout", type=float, default=300.0, metavar="S",
+                        help="default per-job wall-clock limit in seconds; a "
+                             "spec's 'timeout' field overrides it (default 300)")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retries for jobs whose worker crashed; a spec's "
+                             "'max_retries' field overrides it (default 2)")
+    parser.add_argument("--read-timeout", type=float, default=30.0, metavar="S",
+                        help="per-connection request read deadline in seconds; "
+                             "slow clients get HTTP 408 (default 30)")
     args = parser.parse_args(argv)
 
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
@@ -46,6 +55,9 @@ def main(argv=None) -> int:
         cache_dir=args.cache_dir,
         workers=workers,
         drain_timeout=args.drain_timeout,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        read_timeout=args.read_timeout,
     )
 
     def ready(service) -> None:

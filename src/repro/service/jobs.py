@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Mapping, Optional
 
+from .. import faults
 from ..benchcircuits import (
     adder_spec,
     comparator_spec,
@@ -78,6 +79,12 @@ MAX_WIDTH = 20
 #: Ceiling on the artificial per-job delay (a load-testing hook, see below).
 MAX_DELAY_MS = 10_000
 
+#: Ceiling on a spec's per-job wall-clock timeout override (seconds).
+MAX_JOB_TIMEOUT = 600.0
+
+#: Ceiling on a spec's retry-count override.
+MAX_JOB_RETRIES = 10
+
 #: DecompositionOptions fields a spec may set (everything tunable; the
 #: block prefix stays fixed so cache records remain interchangeable).
 _OPTION_FIELDS = {
@@ -113,10 +120,17 @@ class JobSpec:
     objective: str = "balanced"
     verify: bool = False
     delay_ms: int = 0
+    #: Per-job wall-clock timeout override (seconds); ``None`` uses the
+    #: server default.  Scheduling policy, so deliberately NOT part of the
+    #: dedup digest: the result of a computation does not depend on it.
+    timeout: Optional[float] = None
+    #: Per-job retry-budget override for attempts lost to worker crashes;
+    #: ``None`` uses the server default.  Also excluded from the digest.
+    max_retries: Optional[int] = None
 
     def payload(self) -> dict:
         """Canonical JSON-ready form (worker payload + digest input)."""
-        return {
+        payload = {
             "kind": self.kind,
             "circuit": self.circuit,
             "width": self.width,
@@ -125,6 +139,11 @@ class JobSpec:
             "verify": self.verify,
             "delay_ms": self.delay_ms,
         }
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        if self.max_retries is not None:
+            payload["max_retries"] = self.max_retries
+        return payload
 
     def digest(self) -> str:
         """The in-flight deduplication key.
@@ -161,7 +180,8 @@ def parse_job_spec(data: object) -> JobSpec:
     ignored, so typos never silently run a different computation.
     """
     _require(isinstance(data, dict), "job spec must be a JSON object")
-    known = {"kind", "circuit", "width", "options", "objective", "verify", "delay_ms"}
+    known = {"kind", "circuit", "width", "options", "objective", "verify",
+             "delay_ms", "timeout", "max_retries"}
     for key in data:
         _require(key in known, f"unknown field {key!r}", key)
 
@@ -212,6 +232,25 @@ def parse_job_spec(data: object) -> JobSpec:
         "delay_ms",
     )
 
+    timeout = data.get("timeout")
+    if timeout is not None:
+        _require(
+            isinstance(timeout, (int, float)) and not isinstance(timeout, bool)
+            and 0 < timeout <= MAX_JOB_TIMEOUT,
+            f"timeout must be a number in (0, {MAX_JOB_TIMEOUT}] seconds",
+            "timeout",
+        )
+        timeout = float(timeout)
+
+    max_retries = data.get("max_retries")
+    if max_retries is not None:
+        _require(
+            isinstance(max_retries, int) and not isinstance(max_retries, bool)
+            and 0 <= max_retries <= MAX_JOB_RETRIES,
+            f"max_retries must be an integer in [0, {MAX_JOB_RETRIES}]",
+            "max_retries",
+        )
+
     return JobSpec(
         kind=kind,
         circuit=circuit,
@@ -220,6 +259,8 @@ def parse_job_spec(data: object) -> JobSpec:
         objective=objective,
         verify=verify,
         delay_ms=delay_ms,
+        timeout=timeout,
+        max_retries=max_retries,
     )
 
 
@@ -233,6 +274,8 @@ def spec_from_payload(payload: Mapping) -> JobSpec:
         objective=payload["objective"],
         verify=payload["verify"],
         delay_ms=payload["delay_ms"],
+        timeout=payload.get("timeout"),
+        max_retries=payload.get("max_retries"),
     )
 
 
@@ -254,6 +297,10 @@ def execute_job(payload: Mapping, cache_dir: Optional[str]) -> dict:
     spec = spec_from_payload(payload)
     if spec.delay_ms:
         time.sleep(spec.delay_ms / 1000.0)
+    # Named fault site for the chaos harness: REPRO_FAULT_SPEC can kill or
+    # delay this worker at the start of the job body, filtered by
+    # "<circuit>-<width>".  Inert (one env lookup) when unarmed.
+    faults.hit("worker.job", tag=f"{spec.circuit}-{spec.width}")
     start = time.perf_counter()
     outcome = run_job(
         CIRCUITS[spec.circuit],
@@ -346,10 +393,18 @@ class Job:
     primary_id: Optional[str] = None
     result: Optional[dict] = None
     error: Optional[str] = None
+    #: Structured failure description (``type`` + context) alongside the
+    #: human-readable ``error`` string — what clients branch on.
+    error_detail: Optional[dict] = None
+    #: Execution attempts the computation behind this job consumed
+    #: (0 while queued/deduplicated, >1 after worker-death retries).
+    attempts: int = 0
 
-    def finish(self, result: Optional[dict], error: Optional[str]) -> None:
+    def finish(self, result: Optional[dict], error: Optional[str],
+               error_detail: Optional[dict] = None) -> None:
         self.result = result
         self.error = error
+        self.error_detail = error_detail if error is not None else None
         self.state = JobState.FAILED if error is not None else JobState.DONE
         self.finished_at = time.time()
 
@@ -374,8 +429,12 @@ class Job:
         if self.finished_at is not None:
             body["finished_at"] = self.finished_at
             body["latency_seconds"] = round(self.latency_seconds, 4)
+        if self.attempts:
+            body["attempts"] = self.attempts
         if self.result is not None:
             body["result"] = self.result
         if self.error is not None:
             body["error"] = self.error
+        if self.error_detail is not None:
+            body["error_detail"] = self.error_detail
         return body

@@ -46,6 +46,17 @@ class ServiceMetrics:
         self.computations = 0
         #: Jobs handed to the pool and not yet finished.
         self.queue_depth = 0
+        #: Execution attempts relaunched after a worker death.
+        self.retries = 0
+        #: Jobs failed for exceeding their wall-clock timeout.
+        self.timeouts = 0
+        #: Execution attempts lost to a worker/pool crash (one death that
+        #: breaks a pool with several in-flight attempts counts each).
+        self.worker_deaths = 0
+        #: Digests quarantined after exhausting their worker-crash retries.
+        self.quarantined_jobs = 0
+        #: Connections dropped with HTTP 408 (request/header read timeout).
+        self.request_timeouts = 0
         #: Distinct digests currently in flight (primaries, not subscribers).
         self.inflight_unique = 0
         self.latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
@@ -106,6 +117,13 @@ class ServiceMetrics:
             "queue": {
                 "depth": self.queue_depth,
                 "inflight_unique": self.inflight_unique,
+            },
+            "reliability": {
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "worker_deaths": self.worker_deaths,
+                "quarantined_jobs": self.quarantined_jobs,
+                "request_timeouts": self.request_timeouts,
             },
             "latency_seconds": {
                 "count": len(window),

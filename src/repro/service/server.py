@@ -1,8 +1,17 @@
 """The asyncio HTTP front-end of decomposition-as-a-service.
 
 One event loop owns all bookkeeping (job table, in-flight map, metrics);
-decompositions run in a ``multiprocessing`` fork pool (or an in-process
-worker thread with ``workers=0``) and come back as JSON-ready summaries.
+decompositions run in a forked :class:`~concurrent.futures.ProcessPoolExecutor`
+(or an in-process worker thread with ``workers=0``) and come back as
+JSON-ready summaries.
+
+Execution is *supervised* (see ``docs/RELIABILITY.md``): every job gets a
+wall-clock timeout (``JobTimeout`` on expiry); an attempt lost to a hard
+worker death (the executor reports ``BrokenProcessPool``) is retried with
+exponential backoff + jitter while its dedup subscribers stay attached;
+a spec that crashes its worker through the whole retry budget fails with
+a structured ``WorkerCrash`` error and is quarantined for a TTL; slow
+clients are dropped with a structured HTTP 408.
 The HTTP layer is deliberately ``http.server``-grade: a hand-rolled
 HTTP/1.1 request parser over ``asyncio.start_server``, stdlib only, one
 connection per request (``Connection: close``).
@@ -30,15 +39,19 @@ server on a background thread, used by the tests and the load generator).
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
+import random
 import threading
 import time
 import urllib.parse
 from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..parallel import pool_context
+from ..engine.cache import corrupt_record_count
+from ..parallel import mark_pool_worker, pool_context
 from .jobs import Job, JobState, SpecError, new_job_id, parse_job_spec, execute_job
 from .metrics import ServiceMetrics
 
@@ -62,17 +75,47 @@ class ServiceConfig:
     workers: int = 1
     #: Upper bound on waiting for in-flight jobs during graceful shutdown.
     drain_timeout: float = 120.0
+    #: Default per-job wall-clock limit (seconds); a spec's ``timeout``
+    #: field overrides it.  A job past its limit fails with a structured
+    #: ``JobTimeout`` error (the worker slot drains when the task ends).
+    job_timeout: float = 300.0
+    #: Default retry budget for attempts lost to a worker crash; a spec's
+    #: ``max_retries`` field overrides it.
+    max_retries: int = 2
+    #: Exponential-backoff base delay between crash retries (seconds);
+    #: attempt n waits ~``base * 2**(n-1)`` with +-50% jitter.
+    retry_base_delay: float = 0.1
+    #: Ceiling on any single crash-retry backoff delay (seconds).
+    retry_max_delay: float = 5.0
+    #: How long a digest that exhausted its crash retries keeps failing
+    #: fast (seconds) before a fresh submission may try again.
+    quarantine_ttl: float = 300.0
+    #: Per-connection limit on reading the request line + headers + body
+    #: (seconds); a slow or stalled client gets a structured HTTP 408.
+    read_timeout: float = 30.0
 
 
 class _InFlight:
-    """One running computation plus every submission subscribed to it."""
+    """One running computation plus every submission subscribed to it.
 
-    __slots__ = ("primary", "subscribers", "future")
+    The entry survives worker crashes: ``future`` is replaced on each retry
+    attempt while the subscriber list (thundering-herd dedup) is preserved,
+    so every submission attached to a crashed computation is served by the
+    retry that finally lands.
+    """
 
-    def __init__(self, primary: Job, future: "asyncio.Future") -> None:
+    __slots__ = ("primary", "subscribers", "future", "attempts",
+                 "max_retries", "timeout", "timeout_handle", "settled")
+
+    def __init__(self, primary: Job, timeout: float, max_retries: int) -> None:
         self.primary = primary
         self.subscribers: List[Job] = []
-        self.future = future
+        self.future: Optional["asyncio.Future"] = None
+        self.attempts = 0
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.timeout_handle: Optional[asyncio.TimerHandle] = None
+        self.settled = False
 
 
 class HttpError(Exception):
@@ -91,6 +134,9 @@ class DecompositionService:
         self.jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._events: Dict[str, asyncio.Event] = {}
         self._inflight: Dict[str, _InFlight] = {}
+        #: digest -> quarantine expiry (time.monotonic()): specs that
+        #: exhausted their crash retries fail fast until the TTL passes.
+        self._quarantine: Dict[str, float] = {}
         self._draining = False
         self._stopped = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -101,18 +147,43 @@ class DecompositionService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _make_pool(self):
+        if self.config.workers > 0:
+            # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
+            # that dies hard fails every pending future with
+            # BrokenProcessPool instead of silently losing its task — the
+            # signal the retry machinery is built on.
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=pool_context(),
+                initializer=mark_pool_worker,
+            )
+        # One worker thread keeps execution strictly sequential and
+        # fork-free; numpy releases the GIL, so the loop stays live.
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-worker"
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a crash-broken process pool with a fresh one.
+
+        One worker death breaks the whole executor (every pending future
+        fails), so several callbacks may request a rebuild for the same
+        death — only the first finds the pool actually broken.
+        """
+        pool = self._pool
+        if pool is None or self._draining:
+            return
+        if not isinstance(pool, concurrent.futures.ProcessPoolExecutor):
+            return
+        if not getattr(pool, "_broken", True):
+            return  # already replaced by an earlier callback
+        self._pool = self._make_pool()
+        pool.shutdown(wait=False)
+
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
-        if self.config.workers > 0:
-            self._pool = pool_context().Pool(self.config.workers)
-        else:
-            # One worker thread keeps execution strictly sequential and
-            # fork-free; numpy releases the GIL, so the loop stays live.
-            import concurrent.futures
-
-            self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-service-worker"
-            )
+        self._pool = self._make_pool()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -126,16 +197,22 @@ class DecompositionService:
         if self._draining:
             return
         self._draining = True
-        pending = [entry.future for entry in self._inflight.values()]
+        pending = [
+            entry.future for entry in self._inflight.values()
+            if entry.future is not None and not entry.future.done()
+        ]
         if pending:
             await asyncio.wait(pending, timeout=self.config.drain_timeout)
+        # Settle anything still open (timed out the drain, or waiting on a
+        # retry backoff) so no subscriber is left hanging forever.
+        for entry in list(self._inflight.values()):
+            self._settle(
+                entry, None, "ServiceStopping: server shut down before the job finished",
+                {"type": "ServiceStopping"},
+            )
         pool, self._pool = self._pool, None
         if pool is not None:
-            if hasattr(pool, "close"):  # multiprocessing.Pool
-                pool.close()
-                await self._loop.run_in_executor(None, pool.join)
-            else:  # ThreadPoolExecutor
-                await self._loop.run_in_executor(None, pool.shutdown)
+            await self._loop.run_in_executor(None, pool.shutdown)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -159,8 +236,9 @@ class DecompositionService:
             else:
                 break
 
-    def _finish_job(self, job: Job, result: Optional[dict], error: Optional[str]) -> None:
-        job.finish(result, error)
+    def _finish_job(self, job: Job, result: Optional[dict], error: Optional[str],
+                    error_detail: Optional[dict] = None) -> None:
+        job.finish(result, error, error_detail)
         self.metrics.record_completion(job.latency_seconds, failed=error is not None)
         event = self._events.get(job.id)
         if event is not None:
@@ -168,35 +246,30 @@ class DecompositionService:
 
     def _submit_to_pool(self, payload: dict) -> "asyncio.Future":
         """Hand a job payload to the execution backend; returns a future."""
-        loop = self._loop
-        if hasattr(self._pool, "apply_async"):  # multiprocessing.Pool
-            future: asyncio.Future = loop.create_future()
-
-            def _done(result, _future=future):
-                loop.call_soon_threadsafe(
-                    lambda: _future.done() or _future.set_result(result)
-                )
-
-            def _fail(exc, _future=future):
-                loop.call_soon_threadsafe(
-                    lambda: _future.done() or _future.set_exception(exc)
-                )
-
-            self._pool.apply_async(
-                execute_job,
-                (payload, self.config.cache_dir),
-                callback=_done,
-                error_callback=_fail,
-            )
-            return future
-        return asyncio.ensure_future(
-            loop.run_in_executor(self._pool, execute_job, payload, self.config.cache_dir)
-        )
+        cf_future = self._pool.submit(execute_job, payload, self.config.cache_dir)
+        return asyncio.wrap_future(cf_future, loop=self._loop)
 
     def submit(self, job: Job) -> None:
-        """Route a validated job: attach to an in-flight twin or execute."""
+        """Route a validated job: attach to an in-flight twin or execute.
+
+        Quarantined digests (specs that crashed their worker through the
+        whole retry budget) fail fast with a structured error until their
+        TTL expires — one poisoned spec cannot grind the pool down forever.
+        """
         self.metrics.jobs_submitted += 1
         self._register_job(job)
+        expiry = self._quarantine.get(job.digest)
+        if expiry is not None:
+            if time.monotonic() < expiry:
+                self._finish_job(
+                    job, None,
+                    "Quarantined: this spec repeatedly crashed its worker; "
+                    "rejected until the quarantine expires",
+                    {"type": "Quarantined",
+                     "retry_after_seconds": round(expiry - time.monotonic(), 3)},
+                )
+                return
+            del self._quarantine[job.digest]
         entry = self._inflight.get(job.digest)
         if entry is not None:
             job.deduplicated = True
@@ -206,29 +279,133 @@ class DecompositionService:
             self.metrics.dedup_inflight_hits += 1
             return
         job.state = JobState.RUNNING
-        future = self._submit_to_pool(job.spec.payload())
-        entry = _InFlight(job, future)
+        spec = job.spec
+        entry = _InFlight(
+            job,
+            timeout=spec.timeout if spec.timeout is not None else self.config.job_timeout,
+            max_retries=(spec.max_retries if spec.max_retries is not None
+                         else self.config.max_retries),
+        )
         self._inflight[job.digest] = entry
         self.metrics.queue_depth += 1
         self.metrics.inflight_unique = len(self._inflight)
-        future.add_done_callback(lambda fut: self._on_job_done(job.digest, fut))
+        self._launch(entry)
 
-    def _on_job_done(self, digest: str, future: "asyncio.Future") -> None:
-        entry = self._inflight.pop(digest, None)
+    # ------------------------------------------------------------------
+    # Supervision: attempts, timeouts, crash retries, quarantine
+    # ------------------------------------------------------------------
+    def _launch(self, entry: _InFlight) -> None:
+        """Start (or restart) the computation behind an in-flight entry."""
+        if entry.settled:
+            return
+        if self._pool is None:
+            self._settle(
+                entry, None, "ServiceStopping: server shut down before the job ran",
+                {"type": "ServiceStopping"},
+            )
+            return
+        entry.attempts += 1
+        attempt = entry.attempts
+        try:
+            future = self._submit_to_pool(entry.primary.spec.payload())
+        except (BrokenProcessPool, RuntimeError):
+            # The pool broke between the death and this (re)launch.
+            self._rebuild_pool()
+            future = self._submit_to_pool(entry.primary.spec.payload())
+        entry.future = future
+        if entry.timeout_handle is not None:
+            entry.timeout_handle.cancel()
+        if entry.timeout:
+            entry.timeout_handle = self._loop.call_later(
+                entry.timeout, self._on_job_timeout, entry, attempt
+            )
+        future.add_done_callback(
+            lambda fut: self._on_attempt_done(entry, attempt, fut)
+        )
+
+    def _settle(self, entry: _InFlight, result: Optional[dict],
+                error: Optional[str], error_detail: Optional[dict] = None) -> None:
+        """Terminal bookkeeping: finish the primary and every subscriber."""
+        if entry.settled:
+            return
+        entry.settled = True
+        if entry.timeout_handle is not None:
+            entry.timeout_handle.cancel()
+            entry.timeout_handle = None
+        self._inflight.pop(entry.primary.digest, None)
         self.metrics.queue_depth = max(0, self.metrics.queue_depth - 1)
         self.metrics.inflight_unique = len(self._inflight)
-        if entry is None:  # pragma: no cover - defensive
-            return
-        error: Optional[str] = None
-        result: Optional[dict] = None
-        try:
-            result = future.result()
-        except Exception as exc:  # worker raised; every subscriber fails too
-            error = f"{type(exc).__name__}: {exc}"
+        entry.primary.attempts = entry.attempts
         if error is None and isinstance(result, dict):
             self.metrics.record_outcome(bool(result.get("decomposition_cached")))
         for job in (entry.primary, *entry.subscribers):
-            self._finish_job(job, result, error)
+            self._finish_job(job, result, error, error_detail)
+
+    def _on_attempt_done(self, entry: _InFlight, attempt: int,
+                         future: "asyncio.Future") -> None:
+        if entry.settled or attempt != entry.attempts:
+            return  # stale: the job already timed out or was re-launched
+        try:
+            result = future.result()
+        except asyncio.CancelledError:
+            self._settle(entry, None, "Cancelled: execution was cancelled",
+                         {"type": "Cancelled", "attempts": entry.attempts})
+            return
+        except BrokenProcessPool:
+            self._on_worker_death(entry)
+            return
+        except Exception as exc:  # in-band worker exception: every subscriber fails
+            self._settle(
+                entry, None, f"{type(exc).__name__}: {exc}",
+                {"type": type(exc).__name__, "attempts": entry.attempts},
+            )
+            return
+        self._settle(entry, result, None)
+
+    def _on_worker_death(self, entry: _InFlight) -> None:
+        """An attempt died with its worker: retry with backoff, or quarantine."""
+        self.metrics.worker_deaths += 1
+        self._rebuild_pool()
+        if self._draining:
+            self._settle(
+                entry, None, "ServiceStopping: worker died during shutdown drain",
+                {"type": "ServiceStopping"},
+            )
+            return
+        if entry.attempts <= entry.max_retries:
+            self.metrics.retries += 1
+            base = self.config.retry_base_delay * (2 ** (entry.attempts - 1))
+            delay = min(self.config.retry_max_delay, base)
+            delay *= 0.5 + random.random()  # +-50% jitter breaks retry lockstep
+            self._loop.call_later(delay, self._launch, entry)
+            return
+        self.metrics.quarantined_jobs += 1
+        self._quarantine[entry.primary.digest] = (
+            time.monotonic() + self.config.quarantine_ttl
+        )
+        self._settle(
+            entry, None,
+            f"WorkerCrash: worker died on all {entry.attempts} attempts; "
+            f"spec quarantined for {self.config.quarantine_ttl:.0f}s",
+            {"type": "WorkerCrash", "attempts": entry.attempts,
+             "quarantine_seconds": self.config.quarantine_ttl},
+        )
+
+    def _on_job_timeout(self, entry: _InFlight, attempt: int) -> None:
+        if entry.settled or attempt != entry.attempts:
+            return
+        self.metrics.timeouts += 1
+        # A running process-pool task cannot be cancelled; the stale future
+        # is abandoned (its late result is dropped by the attempt check)
+        # and the worker slot drains when the task eventually ends.
+        if entry.future is not None:
+            entry.future.cancel()
+        self._settle(
+            entry, None,
+            f"JobTimeout: job exceeded its {entry.timeout:g}s wall-clock limit",
+            {"type": "JobTimeout", "timeout_seconds": entry.timeout,
+             "attempts": entry.attempts},
+        )
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -237,7 +414,20 @@ class DecompositionService:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                method, path, query, body = await self._read_request(reader)
+                # A slow or stalled client (slowloris, dripped headers,
+                # missing body bytes) must not pin a connection handler
+                # forever: the whole request read shares one deadline.
+                method, path, query, body = await asyncio.wait_for(
+                    self._read_request(reader), self.config.read_timeout
+                )
+            except asyncio.TimeoutError:
+                self.metrics.request_timeouts += 1
+                await self._respond(writer, 408, {"error": {
+                    "type": "RequestTimeout",
+                    "message": "request was not received within "
+                               f"{self.config.read_timeout:g}s",
+                }})
+                return
             except HttpError as exc:
                 await self._respond(writer, exc.status, exc.body)
                 return
@@ -296,7 +486,8 @@ class DecompositionService:
         payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
         reason = reason or {200: "OK", 202: "Accepted", 400: "Bad Request",
                             404: "Not Found", 405: "Method Not Allowed",
-                            413: "Payload Too Large", 500: "Internal Server Error",
+                            408: "Request Timeout", 413: "Payload Too Large",
+                            500: "Internal Server Error",
                             503: "Service Unavailable"}.get(status, "")
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
@@ -317,7 +508,12 @@ class DecompositionService:
             })
             return
         if path == "/metrics" and method == "GET":
-            await self._respond(writer, 200, self.metrics.snapshot())
+            snapshot = self.metrics.snapshot()
+            snapshot["cache"]["corrupt_records"] = (
+                corrupt_record_count(self.config.cache_dir)
+                if self.config.cache_dir else 0
+            )
+            await self._respond(writer, 200, snapshot)
             return
         if path == "/jobs" and method == "POST":
             await self._handle_submit(writer, query, body)

@@ -1,0 +1,239 @@
+"""Crash-consistency tests for the shared on-disk caches.
+
+Every test answers one question: if a writer is interrupted (killed between
+write and rename, tears its payload, or a foreign/damaged file lands at a
+record path), do readers (a) never crash, (b) never serve torn data, and
+(c) quarantine exactly the damaged records to ``*.corrupt`` sidecars?
+
+The interruption points come from two directions: a byte-level truncation
+sweep driven by hypothesis (any prefix of a committed record), and the
+``REPRO_FAULT_SPEC`` harness tearing the write path itself at its named
+fault sites (``cache.store.payload``, ``cache.store.rename``,
+``cache.index.*``).
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from test_engine_parity import assert_bit_identical
+
+from repro import faults
+from repro.anf import Context, canonical_spec_digest, majority, variables
+from repro.core import progressive_decomposition
+from repro.engine import (
+    CacheTelemetry,
+    DecompositionCache,
+    Pipeline,
+    SynthesisCache,
+    cache_key,
+    corrupt_record_count,
+    decompose_cached,
+)
+from repro.engine.cache import FSYNC_ENV, LOCK_ENV
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    monkeypatch.delenv(faults.ENV, raising=False)
+    monkeypatch.delenv(LOCK_ENV, raising=False)
+    monkeypatch.delenv(FSYNC_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def arm(monkeypatch, spec: str) -> None:
+    monkeypatch.setenv(faults.ENV, spec)
+    faults.reset()
+
+
+def _majority_outputs(width: int):
+    ctx = Context()
+    bits = ctx.bus("a", width)
+    return {"maj": majority(variables(ctx, bits), ctx)}, [bits]
+
+
+def _stored_record(cache_dir):
+    """A real committed record: (cache, key, record_path, decomposition)."""
+    cache = DecompositionCache(cache_dir, telemetry=CacheTelemetry())
+    outputs, words = _majority_outputs(5)
+    pipeline = Pipeline.from_options(None)
+    key = cache_key(canonical_spec_digest(outputs, words), pipeline.config_key())
+    decomposition, hit = decompose_cached(outputs, input_words=words, cache=cache)
+    assert not hit
+    return cache, key, cache._path(key), decomposition
+
+
+# ----------------------------------------------------------------------
+# Byte-level truncation sweep: any prefix of a record is survivable
+# ----------------------------------------------------------------------
+class TestTruncationSweep:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_prefix_is_a_quarantined_miss(self, tmp_path_factory, data):
+        tmp_path = tmp_path_factory.mktemp("trunc")
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        payload = path.read_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        path.write_bytes(payload[:cut])
+
+        assert cache.load(key) is None  # never crashes, never serves torn data
+        assert not path.exists()  # the torn record was moved aside ...
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert cache.telemetry.corrupt == 1
+
+        # ... and the key is immediately writable again with a good record.
+        cache.store(key, decomposition)
+        assert_bit_identical(cache.load(key), decomposition)
+
+    def test_full_record_loads_bit_identical(self, tmp_path):
+        cache, key, _, decomposition = _stored_record(tmp_path)
+        assert_bit_identical(cache.load(key), decomposition)
+        assert cache.telemetry.corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# Fault-injected write path
+# ----------------------------------------------------------------------
+class TestTornStores:
+    def test_skipped_rename_never_publishes_the_record(self, tmp_path, monkeypatch):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        path.unlink()
+        arm(monkeypatch, "cache.store.rename:skip")
+        cache.store(key, decomposition)  # "crashes" between write and rename
+        assert not path.exists()
+        assert cache.load(key) is None
+        assert len(cache) == 0
+        # Only the writer's tmp file remains; it is invisible to readers.
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert len(leftovers) == 1
+        # A later healthy writer lands the record normally.
+        monkeypatch.delenv(faults.ENV)
+        cache.store(key, decomposition)
+        assert_bit_identical(cache.load(key), decomposition)
+
+    def test_torn_payload_is_quarantined_on_read(self, tmp_path, monkeypatch):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        path.unlink()
+        arm(monkeypatch, "cache.store.payload:truncate")
+        cache.store(key, decomposition)  # the rename publishes a torn payload
+        monkeypatch.delenv(faults.ENV)
+        assert cache.load(key) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert corrupt_record_count(tmp_path) == 1
+
+    def test_corrupted_payload_is_quarantined_on_read(self, tmp_path, monkeypatch):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        path.unlink()
+        arm(monkeypatch, "cache.store.payload:corrupt")
+        cache.store(key, decomposition)
+        monkeypatch.delenv(faults.ENV)
+        assert cache.load(key) is None
+        assert corrupt_record_count(tmp_path) == 1
+
+    def test_store_io_error_leaves_no_partial_record(self, tmp_path, monkeypatch):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        path.unlink()
+        arm(monkeypatch, "cache.store:err")
+        with pytest.raises(OSError):
+            cache.store(key, decomposition)
+        assert len(cache) == 0
+        assert list(tmp_path.glob("*.tmp")) == []  # tmp cleaned up on failure
+
+    def test_quarantine_is_exact_healthy_neighbours_survive(self, tmp_path, monkeypatch):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        healthy_key = "0" * len(key)
+        cache.store_raw(healthy_key, json.loads(path.read_text()))
+        path.write_text("{torn")
+        assert cache.load(key) is None
+        assert corrupt_record_count(tmp_path) == 1  # exactly the damaged one
+        assert_bit_identical(cache.load(healthy_key), decomposition)
+
+    def test_corrupt_sidecars_are_never_reread_and_clear_removes_them(
+        self, tmp_path, monkeypatch
+    ):
+        cache, key, path, decomposition = _stored_record(tmp_path)
+        path.write_text("{torn")
+        assert cache.load(key) is None
+        assert cache.load(key) is None  # second read: plain miss, one sidecar
+        assert corrupt_record_count(tmp_path) == 1
+        assert cache.telemetry.corrupt == 1
+        assert cache.clear() == 0
+        assert corrupt_record_count(tmp_path) == 0
+
+
+class TestTornIndexStores:
+    def test_skipped_index_rename_is_a_plain_index_miss(self, tmp_path, monkeypatch):
+        cache, key, _, _ = _stored_record(tmp_path)
+        arm(monkeypatch, "cache.index.rename:skip")
+        cache.store_index("job-fp", key)
+        assert cache.load_index("job-fp") is None
+        monkeypatch.delenv(faults.ENV)
+        cache.store_index("job-fp", key)
+        assert cache.load_index("job-fp") == key
+
+    def test_truncated_index_payload_is_a_plain_index_miss(self, tmp_path, monkeypatch):
+        cache, key, _, _ = _stored_record(tmp_path)
+        arm(monkeypatch, "cache.index.payload:truncate:0")
+        cache.store_index("job-fp", key)
+        assert cache.load_index("job-fp") is None
+
+
+class TestSynthesisCacheFaults:
+    METRICS = {"design": "d", "area": 1.0, "delay": 2.0, "cells": 3, "depth": 4}
+
+    def test_torn_record_quarantined(self, tmp_path):
+        telemetry = CacheTelemetry()
+        cache = SynthesisCache(tmp_path, telemetry=telemetry)
+        cache.store("k", self.METRICS)
+        (tmp_path / "k.json").write_text('{"schema": "repro-synthesis-v1", "area"')
+        assert cache.load("k") is None
+        assert telemetry.corrupt == 1
+        assert corrupt_record_count(tmp_path) == 1
+        assert cache.clear() == 0
+        assert corrupt_record_count(tmp_path) == 0
+
+    def test_non_numeric_metric_quarantined(self, tmp_path):
+        cache = SynthesisCache(tmp_path, telemetry=CacheTelemetry())
+        cache.store("k", self.METRICS)
+        record = dict(self.METRICS, schema="repro-synthesis-v1", area="wide")
+        (tmp_path / "k.json").write_text(json.dumps(record))
+        assert cache.load("k") is None
+        assert cache.telemetry.corrupt == 1
+
+    def test_fault_injected_torn_store(self, tmp_path, monkeypatch):
+        cache = SynthesisCache(tmp_path, telemetry=CacheTelemetry())
+        arm(monkeypatch, "cache.store.payload:truncate")
+        cache.store("k", self.METRICS)
+        monkeypatch.delenv(faults.ENV)
+        assert cache.load("k") is None
+        assert corrupt_record_count(tmp_path) == 1
+        cache.store("k", self.METRICS)
+        assert cache.load("k")["area"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Locking / fsync knobs (behavioural smoke: correctness is unchanged)
+# ----------------------------------------------------------------------
+class TestDurabilityKnobs:
+    def test_lock_enabled_store_and_load(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LOCK_ENV, "1")
+        cache, key, _, decomposition = _stored_record(tmp_path)
+        assert (tmp_path / ".lock").exists()
+        assert_bit_identical(cache.load(key), decomposition)
+
+    def test_fsync_enabled_store_and_load(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FSYNC_ENV, "1")
+        cache, key, _, decomposition = _stored_record(tmp_path)
+        assert_bit_identical(cache.load(key), decomposition)
+
+    def test_telemetry_snapshot_includes_corrupt(self, tmp_path):
+        cache, key, path, _ = _stored_record(tmp_path)
+        path.write_text("{")
+        cache.load(key)
+        snap = cache.telemetry.snapshot()
+        assert snap["corrupt"] == 1
+        assert snap["stores"] == 1

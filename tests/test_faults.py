@@ -1,0 +1,204 @@
+"""Unit tests for the deterministic fault-injection harness (repro.faults)."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultSpecError, InjectedFault, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    monkeypatch.delenv(faults.ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def arm(monkeypatch, spec: str) -> None:
+    monkeypatch.setenv(faults.ENV, spec)
+    faults.reset()
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def test_parse_minimal_clause_defaults_to_fire_once():
+    (clause,) = parse_spec("cache.load:exc")
+    assert clause.site == "cache.load"
+    assert clause.action == "exc"
+    assert clause.arg is None
+    assert clause.filter is None
+    assert (clause.mode, clause.n) == ("first", 1)
+
+
+def test_parse_triggers():
+    at, every, first = parse_spec("a:exc@3;b:exc%7;c:exc x4".replace(" ", ""))
+    assert (at.mode, at.n) == ("at", 3)
+    assert (every.mode, every.n) == ("every", 7)
+    assert (first.mode, first.n) == ("first", 4)
+
+
+def test_parse_action_arg_and_trigger_coexist():
+    (clause,) = parse_spec("cache.store:sleep:0.25@2")
+    assert clause.action == "sleep"
+    assert clause.arg == "0.25"
+    assert (clause.mode, clause.n) == ("at", 2)
+
+
+def test_parse_exc_action_x_is_not_a_trigger():
+    # 'exc' contains an 'x'; a bare action must not lose letters to the
+    # trigger scanner.
+    (clause,) = parse_spec("site:exc")
+    assert clause.action == "exc"
+    assert (clause.mode, clause.n) == ("first", 1)
+
+
+def test_parse_filters_and_negation():
+    positive, negative = parse_spec("worker.job[lzd-9]:kill@1;worker.job[!lzd-9]:kill%7")
+    assert positive.filter == "lzd-9" and not positive.negate
+    assert negative.filter == "lzd-9" and negative.negate
+    assert positive.matches("worker.job", "lzd-9")
+    assert not positive.matches("worker.job", "csa-12")
+    assert negative.matches("worker.job", "csa-12")
+    assert not negative.matches("worker.job", "lzd-9")
+    assert not positive.matches("cache.load", "lzd-9")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "siteonly",
+        "site:nosuchaction",
+        ":exc",
+        "site[unterminated:exc",
+        "site[]:exc",
+        "site:exc@0",
+    ],
+)
+def test_parse_rejects_malformed_clauses(bad):
+    with pytest.raises(FaultSpecError):
+        parse_spec(bad)
+
+
+def test_parse_skips_empty_clauses():
+    assert parse_spec("") == []
+    assert len(parse_spec("a:exc; ;b:err")) == 2
+
+
+# ----------------------------------------------------------------------
+# Trigger semantics
+# ----------------------------------------------------------------------
+def test_hit_unarmed_is_inert(monkeypatch):
+    faults.hit("cache.load")  # no env set: must not raise
+    assert faults.mutate("cache.store.payload", b"data") == b"data"
+    assert faults.should_skip("cache.store.rename") is False
+
+
+def test_exc_fires_once_by_default(monkeypatch):
+    arm(monkeypatch, "cache.load:exc")
+    with pytest.raises(InjectedFault):
+        faults.hit("cache.load")
+    faults.hit("cache.load")  # second hit: trigger exhausted
+
+
+def test_at_trigger_fires_on_exact_hit(monkeypatch):
+    arm(monkeypatch, "cache.load:exc@3")
+    faults.hit("cache.load")
+    faults.hit("cache.load")
+    with pytest.raises(InjectedFault):
+        faults.hit("cache.load")
+    faults.hit("cache.load")
+
+
+def test_every_trigger_fires_periodically(monkeypatch):
+    arm(monkeypatch, "cache.load:exc%2")
+    fired = 0
+    for _ in range(6):
+        try:
+            faults.hit("cache.load")
+        except InjectedFault:
+            fired += 1
+    assert fired == 3
+
+
+def test_err_action_raises_oserror(monkeypatch):
+    arm(monkeypatch, "cache.store:err")
+    with pytest.raises(OSError):
+        faults.hit("cache.store")
+
+
+def test_filter_only_counts_matching_tags(monkeypatch):
+    arm(monkeypatch, "worker.job[lzd-9]:exc@1")
+    faults.hit("worker.job", tag="csa-12")  # does not consume the trigger
+    with pytest.raises(InjectedFault):
+        faults.hit("worker.job", tag="lzd-9")
+
+
+# ----------------------------------------------------------------------
+# Data sites
+# ----------------------------------------------------------------------
+def test_mutate_truncate_default_keeps_half(monkeypatch):
+    arm(monkeypatch, "cache.store.payload:truncate")
+    assert faults.mutate("cache.store.payload", b"0123456789") == b"01234"
+
+
+def test_mutate_truncate_explicit_length(monkeypatch):
+    arm(monkeypatch, "cache.store.payload:truncate:3")
+    assert faults.mutate("cache.store.payload", b"0123456789") == b"012"
+
+
+def test_mutate_corrupt_damages_tail_preserves_length(monkeypatch):
+    arm(monkeypatch, "cache.store.payload:corrupt")
+    original = b'{"schema": 3, "payload": "aaaaaaaaaaaaaaaaaaaa"}'
+    mutated = faults.mutate("cache.store.payload", original)
+    assert len(mutated) == len(original)
+    assert mutated != original
+    assert mutated[: len(original) - 16] == original[: len(original) - 16]
+
+
+def test_should_skip_fires_and_exhausts(monkeypatch):
+    arm(monkeypatch, "cache.store.rename:skip")
+    assert faults.should_skip("cache.store.rename") is True
+    assert faults.should_skip("cache.store.rename") is False
+
+
+def test_snapshot_reports_hit_counts(monkeypatch):
+    arm(monkeypatch, "cache.load:exc@5")
+    faults.hit("cache.load")
+    faults.hit("cache.load")
+    assert faults.snapshot() == [("cache.load", "exc", 2)]
+
+
+def test_plan_cache_rebuilds_when_env_changes(monkeypatch):
+    arm(monkeypatch, "cache.load:exc@1")
+    with pytest.raises(InjectedFault):
+        faults.hit("cache.load")
+    monkeypatch.setenv(faults.ENV, "cache.load:exc@1 ".strip() + ";cache.store:err@1")
+    # New spec string -> fresh counters: the @1 trigger is re-armed.
+    with pytest.raises(InjectedFault):
+        faults.hit("cache.load")
+    with pytest.raises(OSError):
+        faults.hit("cache.store")
+
+
+def test_kill_action_terminates_process(monkeypatch):
+    # Exercised in a child so the suite survives the SIGKILL.
+    import subprocess
+    import sys
+
+    code = (
+        "import os\n"
+        "os.environ['REPRO_FAULT_SPEC'] = 'worker.job:kill@1'\n"
+        "from repro import faults\n"
+        "faults.hit('worker.job')\n"
+        "print('unreachable')\n"
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], cwd=os.path.dirname(os.path.dirname(__file__)),
+        env=env, capture_output=True, text=True, timeout=30,
+    )
+    assert proc.returncode == -9
+    assert "unreachable" not in proc.stdout
