@@ -43,16 +43,30 @@ crash retry, and the recovery counters (worker deaths, retries) actually
 moved.  The committed record is `benchmarks/BENCH_chaos.json`;
 ``--compare`` checks a fresh chaos run against its invariants.
 
+`--overload` runs the admission-control scenario instead of the two
+phases: the launched server gets a deliberately tiny ``REPRO_ADMISSION_*``
+operating point, two "hog" threads push expensive comparator+delay jobs
+while light clients pace cheap ones, and one worker is killed mid-storm.
+The gates prove *shed-don't-collapse* (see the overload contract in
+`docs/RELIABILITY.md`): the hog is throttled with 429s that always carry
+``Retry-After`` yet still completes jobs, every admitted job finishes with
+the books balanced, the light clients see zero shed and a p99 within
+budget (default 3x the unloaded ``BENCH_service.json`` p99, override with
+``--light-p99-budget-ms``), and brownout engages, degrades at least one
+job, and clears.  The committed record is `benchmarks/BENCH_overload.json`.
+
 The `--out` record (committed as `benchmarks/BENCH_service.json`, chaos
-variant as `benchmarks/BENCH_chaos.json`) stores both phases plus the final
+variant as `benchmarks/BENCH_chaos.json`, overload variant as
+`benchmarks/BENCH_overload.json`) stores the run's phases plus the final
 /metrics scrape.  Latency baselines from a loaded box are noisy by nature —
 the committed record documents the operating point; the hard gates are the
-dedup and recovery invariants, not the milliseconds.
+dedup, recovery and overload invariants, not the milliseconds.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import platform
@@ -61,6 +75,7 @@ import statistics
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -73,6 +88,7 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
 
 SCHEMA = "repro-service-loadgen-v1"
 CHAOS_SCHEMA = "repro-service-chaos-v1"
+OVERLOAD_SCHEMA = "repro-service-overload-v1"
 
 #: The default chaos plan (see repro.faults for the grammar).  Cross-process
 #: counters (REPRO_FAULT_STATE) make every trigger global:
@@ -110,41 +126,121 @@ SPEC_MENU = [
 #: always a cold digest: exactly one computation, N-1 in-flight dedup hits.
 HERD_SPEC = {"circuit": "lzd", "width": 9}
 
+#: The overload scenario's admission operating point, armed in the server's
+#: environment (see docs/TUNABLES.md).  Deliberately tiny so a handful of
+#: clients can push the server through its whole envelope — quota
+#: throttling, watermark shedding, brownout — in a few seconds: a heavy
+#: job (~1.2 s of held worker ≈ 1200+ cost units) nearly fills the queue
+#: watermark by itself and costs three seconds of bucket refill.
+OVERLOAD_ADMISSION_ENV = {
+    "REPRO_ADMISSION_RATE": "400",
+    "REPRO_ADMISSION_BURST": "1600",
+    "REPRO_ADMISSION_MAX_QUEUE_COST": "2400",
+    "REPRO_ADMISSION_MAX_QUEUE_DEPTH": "64",
+    "REPRO_ADMISSION_CHEAP_COST": "60",
+    "REPRO_ADMISSION_BROWNOUT_HIGH": "0.5",
+    "REPRO_ADMISSION_BROWNOUT_LOW": "0.2",
+    "REPRO_ADMISSION_BROWNOUT_HOLD": "0.4",
+}
+
+#: Fault plan for the overload scenario: SIGKILL the worker running the
+#: heavy client's spec exactly once (cross-process counter, so "once" is
+#: global).  Supervision must retry it and the books must still balance —
+#: this is what makes the whole overload run a deterministic
+#: REPRO_FAULT_SPEC replay rather than a load test that merely happened
+#: to pass.
+OVERLOAD_FAULT_SPEC = "worker.job[comparator-12]:kill@1"
+
+#: What the light clients loop on: small, cacheable, all far below the
+#: overload scenario's cheap-cost threshold once warmed.  The verify
+#: variant exists to witness brownout degradation (the server strips
+#: ``verify`` while degraded and marks the job ``degraded``).
+OVERLOAD_LIGHT_SPECS = [
+    {"circuit": "majority", "width": 7},
+    {"circuit": "counter", "width": 8},
+    {"circuit": "lod", "width": 10},
+    {"circuit": "lzd", "width": 8},
+    {"circuit": "counter", "width": 8, "verify": True},
+]
+
+#: The heavy client's spec family; each submission adds a distinct
+#: ``delay_ms`` so digests never collide (no dedup escape hatch) and each
+#: job holds a worker for ~1.2 s — "a handful of comparator-class specs".
+OVERLOAD_HEAVY_SPEC = {"circuit": "comparator", "width": 12}
+
 
 def http_json(url: str, data: bytes | None = None, method: str | None = None,
-              timeout: float = 120.0):
+              timeout: float = 120.0, headers: dict | None = None):
     request = urllib.request.Request(
         url, data=data, method=method or ("POST" if data is not None else "GET")
     )
     if data is not None:
         request.add_header("Content-Type", "application/json")
+    for name, value in (headers or {}).items():
+        request.add_header(name, value)
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return json.loads(response.read())
 
 
+def _retry_after_seconds(exc: urllib.error.HTTPError) -> float:
+    """The server's Retry-After advice (the body's float beats the
+    integer-truncated header), else a conservative 0.5 s."""
+    try:
+        body = json.loads(exc.read())
+        value = body.get("error", {}).get("retry_after_seconds")
+        if isinstance(value, (int, float)) and value >= 0:
+            return float(value)
+    except (ValueError, OSError):
+        pass
+    try:
+        return max(0.0, float(exc.headers.get("Retry-After", "")))
+    except (TypeError, ValueError):
+        return 0.5
+
+
 def http_json_retry(url: str, data: bytes | None = None, *,
                     timeout: float = 120.0, retries: int = 2,
-                    backoff: float = 0.2):
+                    backoff: float = 0.2, headers: dict | None = None,
+                    shed_retries: int = 0, max_retry_after: float = 10.0):
     """Hardened client call: per-request timeout + bounded transport retry.
 
     Retries cover *transport* faults only (refused/reset connections, socket
     timeouts, torn responses) — an HTTP response, even a 5xx or a job in a
-    terminal ``failed`` state, is a result, not a retry trigger.  Returns
-    ``(body, error, attempts)`` where exactly one of body/error is set.
+    terminal ``failed`` state, is a result, not a retry trigger.  The one
+    exception is HTTP 429 (admission shed/throttle): it is counted
+    separately, and with a ``shed_retries`` budget the client honours the
+    server's ``Retry-After`` before resubmitting.  Returns
+    ``(body, error, attempts, sheds)`` where exactly one of body/error is
+    set and ``sheds`` counts every 429 encountered (a terminal 429 reports
+    ``error == "HTTP 429"``).
     """
     error = None
     attempts = 0
-    for attempt in range(retries + 1):
-        attempts = attempt + 1
+    sheds = 0
+    transport_attempts = 0
+    sheds_remaining = shed_retries
+    while True:
+        attempts += 1
         try:
-            return http_json(url, data, timeout=timeout), None, attempts
+            return http_json(url, data, timeout=timeout, headers=headers), \
+                None, attempts, sheds
         except urllib.error.HTTPError as exc:
-            return None, f"HTTP {exc.code}", attempts
+            if exc.code == 429:
+                sheds += 1
+                if sheds_remaining > 0:
+                    # A shed retry honours Retry-After and does not consume
+                    # the transport budget — being told "later" is service,
+                    # not failure.
+                    sheds_remaining -= 1
+                    time.sleep(min(max_retry_after, _retry_after_seconds(exc)))
+                    continue
+            return None, f"HTTP {exc.code}", attempts, sheds
         except (urllib.error.URLError, OSError, ValueError) as exc:
             error = f"{type(exc).__name__}: {exc}"
-            if attempt < retries:
-                time.sleep(backoff * (2 ** attempt))
-    return None, error, attempts
+            transport_attempts += 1
+            if transport_attempts > retries:
+                return None, error, attempts, sheds
+            time.sleep(backoff * (2 ** (transport_attempts - 1)))
 
 
 def percentile(sorted_values, fraction):
@@ -171,32 +267,39 @@ def run_phase(base_url: str, payloads, concurrency: int,
 
     Returns a dict separating the ways a submission can end: ``done``,
     ``failed`` (terminal structured failure — quarantine, timeout, crash),
-    and ``transport_failures`` (no usable response at all, after retries).
+    ``shed`` (terminal HTTP 429 from admission control — backpressure, not
+    breakage), and ``transport_failures`` (no usable response at all,
+    after retries).
     """
     latencies = []
     done = 0
     job_failures = 0
+    shed = 0
+    shed_responses = 0
     transport_failures = 0
     client_retries_used = 0
 
     def one(payload: bytes):
         start = time.perf_counter()
-        body, error, attempts = http_json_retry(
+        body, error, attempts, sheds = http_json_retry(
             f"{base_url}/jobs?wait=1&timeout={request_timeout:g}", payload,
             timeout=request_timeout, retries=client_retries,
         )
         state = body.get("state") if isinstance(body, dict) else None
-        return time.perf_counter() - start, state, error, attempts - 1
+        return time.perf_counter() - start, state, error, attempts - 1, sheds
 
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
-        for elapsed, state, error, extra_attempts in pool.map(one, payloads):
+        for elapsed, state, error, extra_attempts, sheds in pool.map(one, payloads):
             latencies.append(elapsed)
             client_retries_used += extra_attempts
+            shed_responses += sheds
             if state == "done":
                 done += 1
             elif state == "failed":
                 job_failures += 1
+            elif error == "HTTP 429":
+                shed += 1
             else:
                 transport_failures += 1
     wall = time.perf_counter() - start
@@ -205,11 +308,326 @@ def run_phase(base_url: str, payloads, concurrency: int,
         "latencies": latencies,
         "done": done,
         "job_failures": job_failures,
+        "shed": shed,
+        "shed_responses": shed_responses,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
         "transport_failures": transport_failures,
         "client_retries": client_retries_used,
         "error_rate": round((job_failures + transport_failures) / total, 4) if total else 0.0,
         "wall": wall,
     }
+
+
+def run_overload(args) -> int:
+    """The heavy-vs-light admission scenario (``--overload``).
+
+    One heavy client ("hog", several submission threads sharing one quota
+    identity) tries to keep comparator-12 jobs that each hold a worker for
+    ~1.2 s flowing through a server armed with a deliberately tiny
+    admission operating point; N light clients keep looping cheap cached
+    specs under their own identities.  The worker running the hog's spec
+    is SIGKILLed exactly once (deterministic fault replay).  The gates are
+    the shed-don't-collapse contract:
+
+    * the hog is throttled/shed with 429 + ``Retry-After`` (and still gets
+      *some* work done — paced, not starved);
+    * the light clients see zero failures and zero sheds, with p99 within
+      budget (default 3x the unloaded ``BENCH_service.json`` p99);
+    * every admitted job completes (books balance, nothing lost, the
+      killed attempt included);
+    * brownout engages during the burst, degrades at least one verify job,
+      and clears afterwards.
+    """
+    tmp_context = tempfile.TemporaryDirectory(prefix="repro-overload-")
+    process = None
+    try:
+        workers = args.workers if args.workers is not None else 2
+        cache_dir = os.path.join(tmp_context.name, "cache")
+        extra_env = dict(OVERLOAD_ADMISSION_ENV)
+        if args.fault_spec:
+            fault_state = os.path.join(tmp_context.name, "fault-state")
+            os.makedirs(fault_state, exist_ok=True)
+            extra_env["REPRO_FAULT_SPEC"] = args.fault_spec
+            extra_env["REPRO_FAULT_STATE"] = fault_state
+        # The kill breaks the whole pool (collateral light attempts die
+        # with it), so give supervision headroom beyond the default.
+        process, base_url = start_server(
+            workers, cache_dir, tmp_context.name,
+            extra_env=extra_env, extra_args=["--max-retries", "4"],
+        )
+        health = http_json(f"{base_url}/healthz")
+        knobs = ", ".join(f"{k.split('REPRO_ADMISSION_')[-1]}={v}"
+                          for k, v in OVERLOAD_ADMISSION_ENV.items())
+        print(f"server {base_url}: workers={health['workers']}, "
+              f"admission [{knobs}]")
+        if args.fault_spec:
+            print(f"fault plan: {args.fault_spec}")
+
+        # Warm the light menu so every light request is a disk hit (cheap
+        # by construction); the warmup identity gets its own bucket.
+        for spec in OVERLOAD_LIGHT_SPECS:
+            body, error, _, _ = http_json_retry(
+                f"{base_url}/jobs?wait=1&timeout=120",
+                json.dumps(spec, sort_keys=True).encode("utf-8"),
+                timeout=120, headers={"X-Repro-Client": "warmup"},
+            )
+            if error or not (isinstance(body, dict) and body.get("state") == "done"):
+                raise RuntimeError(f"warmup failed for {spec}: {error or body}")
+
+        duration = args.overload_duration
+        print(f"overload burst: 1 heavy client x{args.overload_heavy_threads} "
+              f"threads (comparator-12 held {args.overload_heavy_delay_ms} ms) "
+              f"vs {args.overload_lights} light clients, {duration:g}s ...")
+        deadline = time.perf_counter() + duration
+        lock = threading.Lock()
+        heavy = {"admitted": 0, "completed": 0, "failed": 0,
+                 "throttled_429": 0, "retry_after_missing": 0,
+                 "transport_failures": 0, "latencies": []}
+        light = {"done": 0, "failed": 0, "shed": 0, "degraded": 0,
+                 "transport_failures": 0, "latencies": []}
+        heavy_seq = itertools.count()
+        brownout_states = set()
+        peak = {"pressure": 0.0}
+
+        def heavy_loop():
+            while time.perf_counter() < deadline:
+                # A distinct delay_ms per submission keeps digests unique:
+                # no dedup escape hatch for the hog.
+                delay = args.overload_heavy_delay_ms + next(heavy_seq)
+                payload = json.dumps(
+                    {**OVERLOAD_HEAVY_SPEC, "delay_ms": delay}, sort_keys=True
+                ).encode("utf-8")
+                start = time.perf_counter()
+                try:
+                    body = http_json(
+                        f"{base_url}/jobs?wait=1&timeout=90", payload,
+                        timeout=120, headers={"X-Repro-Client": "hog"},
+                    )
+                    with lock:
+                        heavy["admitted"] += 1
+                        heavy["latencies"].append(time.perf_counter() - start)
+                        if isinstance(body, dict) and body.get("state") == "done":
+                            heavy["completed"] += 1
+                        else:
+                            heavy["failed"] += 1
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 429:
+                        wait = _retry_after_seconds(exc)
+                        with lock:
+                            heavy["throttled_429"] += 1
+                            if not exc.headers.get("Retry-After"):
+                                heavy["retry_after_missing"] += 1
+                        time.sleep(min(wait, max(
+                            0.05, deadline - time.perf_counter())))
+                    else:
+                        with lock:
+                            heavy["transport_failures"] += 1
+                except (urllib.error.URLError, OSError, ValueError):
+                    with lock:
+                        heavy["transport_failures"] += 1
+
+        def light_loop(index: int):
+            client = f"light-{index}"
+            i = index  # stagger the menus so clients do not move in lockstep
+            while time.perf_counter() < deadline:
+                spec = OVERLOAD_LIGHT_SPECS[i % len(OVERLOAD_LIGHT_SPECS)]
+                i += 1
+                start = time.perf_counter()
+                body, error, _, sheds = http_json_retry(
+                    f"{base_url}/jobs?wait=1&timeout=60",
+                    json.dumps(spec, sort_keys=True).encode("utf-8"),
+                    timeout=90, retries=1, headers={"X-Repro-Client": client},
+                )
+                elapsed = time.perf_counter() - start
+                state = body.get("state") if isinstance(body, dict) else None
+                with lock:
+                    light["latencies"].append(elapsed)
+                    light["shed"] += sheds
+                    if state == "done":
+                        light["done"] += 1
+                        if isinstance(body, dict) and body.get("degraded"):
+                            light["degraded"] += 1
+                    elif state == "failed":
+                        light["failed"] += 1
+                    elif error != "HTTP 429":
+                        light["transport_failures"] += 1
+                time.sleep(0.01)
+
+        def monitor_loop():
+            # Scrapes double as brownout clock ticks on the server; they
+            # also record which states the burst actually visited.
+            while time.perf_counter() < deadline:
+                try:
+                    snapshot = http_json(f"{base_url}/metrics", timeout=10)
+                    admission = snapshot.get("admission", {})
+                    brownout_states.add(
+                        admission.get("brownout", {}).get("state"))
+                    peak["pressure"] = max(
+                        peak["pressure"], admission.get("pressure", 0.0))
+                except (urllib.error.URLError, OSError, ValueError):
+                    pass
+                time.sleep(0.1)
+
+        threads = (
+            [threading.Thread(target=heavy_loop)
+             for _ in range(args.overload_heavy_threads)]
+            + [threading.Thread(target=light_loop, args=(i,))
+               for i in range(args.overload_lights)]
+            + [threading.Thread(target=monitor_loop)]
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Recovery: hysteresis must bring brownout back to normal and the
+        # queue books to zero once the burst stops (metrics scrapes drive
+        # the hold timers).
+        recovered = False
+        recovery_deadline = time.time() + 30
+        final_metrics = http_json(f"{base_url}/metrics")
+        while time.time() < recovery_deadline:
+            final_metrics = http_json(f"{base_url}/metrics")
+            admission = final_metrics["admission"]
+            if (admission["brownout"]["state"] == "normal"
+                    and admission["queue_depth"] == 0
+                    and final_metrics["queue"]["depth"] == 0):
+                recovered = True
+                break
+            time.sleep(0.2)
+
+        budget_ms = args.light_p99_budget_ms
+        if budget_ms is None:
+            budget_ms = 3.0 * _unloaded_p99_ms()
+        admission = final_metrics["admission"]
+        jobs = final_metrics["jobs"]
+        record = {
+            "schema": OVERLOAD_SCHEMA,
+            "python": platform.python_version(),
+            "server_workers": health["workers"],
+            "admission_env": OVERLOAD_ADMISSION_ENV,
+            "fault_spec": args.fault_spec,
+            "duration_seconds": duration,
+            "heavy": {
+                "client": "hog",
+                "threads": args.overload_heavy_threads,
+                "delay_ms": args.overload_heavy_delay_ms,
+                "admitted": heavy["admitted"],
+                "completed": heavy["completed"],
+                "failed": heavy["failed"],
+                "throttled_429": heavy["throttled_429"],
+                "retry_after_missing": heavy["retry_after_missing"],
+                "transport_failures": heavy["transport_failures"],
+                "latency": latency_stats(heavy["latencies"]),
+            },
+            "light": {
+                "clients": args.overload_lights,
+                "done": light["done"],
+                "failed": light["failed"],
+                "shed": light["shed"],
+                "degraded": light["degraded"],
+                "transport_failures": light["transport_failures"],
+                "latency": latency_stats(light["latencies"]),
+                "p99_budget_ms": round(budget_ms, 2),
+            },
+            "brownout": {
+                "engaged": admission["brownout"]["engaged"],
+                "cleared": admission["brownout"]["cleared"],
+                "states_seen": sorted(s for s in brownout_states if s),
+                "peak_pressure": round(peak["pressure"], 4),
+                "recovered": recovered,
+            },
+            "metrics": final_metrics,
+        }
+        light_p99 = record["light"]["latency"]["p99_ms"]
+        record["invariants"] = {
+            "heavy_throttled": heavy["throttled_429"] >= 1,
+            "heavy_not_starved": heavy["completed"] >= 1,
+            "retry_after_always_present": heavy["retry_after_missing"] == 0,
+            "light_untouched": (light["failed"] == 0 and light["shed"] == 0
+                                and light["transport_failures"] == 0),
+            "light_p99_within_budget": light_p99 <= budget_ms,
+            "zero_lost_admitted": (
+                jobs["submitted"] == jobs["completed"] + jobs["failed"]
+                and jobs["failed"] == 0
+                and final_metrics["queue"]["depth"] == 0
+            ),
+            "brownout_engaged_and_cleared": (
+                admission["brownout"]["engaged"] >= 1
+                and admission["brownout"]["cleared"] >= 1
+                and recovered
+            ),
+            "brownout_degraded_a_job": admission["degraded_jobs"] >= 1,
+            "worker_death_replayed": (
+                not args.fault_spec
+                or final_metrics["reliability"]["worker_deaths"] >= 1
+            ),
+        }
+
+        print(f"  heavy: {heavy['admitted']} admitted "
+              f"({heavy['completed']} done, {heavy['failed']} failed), "
+              f"{heavy['throttled_429']} x 429, "
+              f"p99 {record['heavy']['latency']['p99_ms']} ms")
+        print(f"  light: {light['done']} done, {light['failed']} failed, "
+              f"{light['shed']} shed, {light['degraded']} degraded, "
+              f"p99 {light_p99} ms (budget {budget_ms:.0f} ms)")
+        print(f"  admission: {admission['admitted']} admitted / "
+              f"{admission['throttled']} throttled / {admission['shed']} shed, "
+              f"brownout engaged {admission['brownout']['engaged']}x "
+              f"cleared {admission['brownout']['cleared']}x "
+              f"(peak pressure {peak['pressure']:.2f}), "
+              f"worker deaths {final_metrics['reliability']['worker_deaths']}")
+
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+
+        http_json(f"{base_url}/shutdown", b"", method="POST")
+        process.wait(timeout=120)
+        process = None
+        return evaluate_overload_gates(args, record)
+    finally:
+        if process is not None:
+            process.kill()
+        tmp_context.cleanup()
+
+
+def _unloaded_p99_ms(default: float = 75.0) -> float:
+    """The unloaded mixed-replay p99 from the committed service baseline
+    (the anchor of the light-client latency gate)."""
+    baseline_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_service.json")
+    try:
+        with open(baseline_path) as handle:
+            return float(json.load(handle)["mixed"]["latency"]["p99_ms"])
+    except (OSError, ValueError, KeyError):
+        return default
+
+
+def evaluate_overload_gates(args, record) -> int:
+    """Exit-code policy for --overload: every shed-don't-collapse invariant
+    must hold; --compare additionally requires every invariant that held
+    in the committed baseline to hold in this run."""
+    failed = [
+        f"invariant {name} violated"
+        for name, ok in record["invariants"].items() if not ok
+    ]
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        if baseline.get("schema") != record["schema"]:
+            failed.append(
+                f"baseline schema {baseline.get('schema')!r} != {record['schema']!r}")
+        for name, held in baseline.get("invariants", {}).items():
+            if held and not record["invariants"].get(name, False):
+                failed.append(f"baseline invariant {name} regressed")
+    for message in failed:
+        print(f"FAILURE: {message}")
+    if not failed:
+        print("overload invariants: OK")
+    return 1 if failed else 0
 
 
 def start_server(workers: int, cache_dir: str, tmp_dir: str,
@@ -261,9 +679,29 @@ def main(argv=None) -> int:
                         help="arm REPRO_FAULT_SPEC in the server: kill workers "
                              "on a deterministic cadence and tear cache writes; "
                              "gate on recovery instead of a clean run")
-    parser.add_argument("--fault-spec", default=CHAOS_FAULT_SPEC, metavar="SPEC",
-                        help="override the chaos fault plan (implies --chaos "
-                             "semantics only when --chaos is set)")
+    parser.add_argument("--fault-spec", default=None, metavar="SPEC",
+                        help="override the fault plan (default: the chaos plan "
+                             "with --chaos, the single heavy-worker kill with "
+                             "--overload)")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the heavy-vs-light admission scenario instead "
+                             "of the mixed/herd phases: a tiny admission "
+                             "operating point is armed in the server, one heavy "
+                             "client tries to hog it while light clients keep "
+                             "submitting; gates on shed-don't-collapse")
+    parser.add_argument("--overload-duration", type=float, default=8.0,
+                        help="overload burst length in seconds (default 8)")
+    parser.add_argument("--overload-lights", type=int, default=3,
+                        help="light client threads, each its own quota identity "
+                             "(default 3)")
+    parser.add_argument("--overload-heavy-threads", type=int, default=2,
+                        help="submission threads of the single heavy client "
+                             "(default 2)")
+    parser.add_argument("--overload-heavy-delay-ms", type=int, default=1200,
+                        help="worker hold time of each heavy job (default 1200)")
+    parser.add_argument("--light-p99-budget-ms", type=float, default=None,
+                        help="light-client p99 gate in ms (default: 3x the "
+                             "unloaded p99 recorded in BENCH_service.json)")
     parser.add_argument("--compare", metavar="BASELINE.json", default=None,
                         help="check this run's invariants against a committed "
                              "record (herd dedup; with --chaos also recovery)")
@@ -276,6 +714,17 @@ def main(argv=None) -> int:
     if args.chaos and args.server:
         parser.error("--chaos launches its own server; it cannot target --server "
                      "(the fault environment must be set before the server starts)")
+    if args.overload and args.server:
+        parser.error("--overload launches its own server; it cannot target "
+                     "--server (the admission environment must be set before "
+                     "the server starts)")
+    if args.overload and args.chaos:
+        parser.error("--overload and --chaos are separate scenarios with "
+                     "separate committed baselines; run them individually")
+    if args.fault_spec is None:
+        args.fault_spec = OVERLOAD_FAULT_SPEC if args.overload else CHAOS_FAULT_SPEC
+    if args.overload:
+        return run_overload(args)
 
     rng = random.Random(args.seed)
     weighted = [spec for weight, spec in SPEC_MENU for _ in range(weight)]
@@ -329,6 +778,8 @@ def main(argv=None) -> int:
             "distinct_specs": len(SPEC_MENU),
             "failures": failures,
             "job_failures": outcome["job_failures"],
+            "shed": outcome["shed"],
+            "shed_rate": outcome["shed_rate"],
             "transport_failures": outcome["transport_failures"],
             "client_retries": outcome["client_retries"],
             "error_rate": outcome["error_rate"],
@@ -344,7 +795,8 @@ def main(argv=None) -> int:
               f"dedup rate {mixed_metrics['dedup']['rate']:.1%}, "
               f"error rate {mixed['error_rate']:.2%} "
               f"({outcome['job_failures']} job / "
-              f"{outcome['transport_failures']} transport)")
+              f"{outcome['transport_failures']} transport), "
+              f"shed rate {mixed['shed_rate']:.2%}")
 
         # ---------------- phase 2: thundering herd ----------------
         before = http_json(f"{base_url}/metrics")
@@ -425,6 +877,11 @@ def evaluate_gates(args, record, metrics) -> int:
         failed.append(f"{mixed['transport_failures']} mixed requests got no response")
     if not args.chaos and mixed["job_failures"]:
         failed.append(f"{mixed['job_failures']} mixed jobs failed")
+    if mixed.get("shed"):
+        # The default admission operating point is generous by design; a
+        # 429 during the deterministic replay means the defaults regressed.
+        failed.append(f"{mixed['shed']} mixed requests shed (HTTP 429) under "
+                      "the default admission operating point")
     if args.chaos:
         # "No lost jobs": every submission reached a terminal state and the
         # server's books balance — nothing stuck in flight, nothing dropped.

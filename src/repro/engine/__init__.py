@@ -45,6 +45,14 @@ from .passes import (
     RewritePass,
     SizeReductionPass,
 )
+from .cost import (
+    FamilyCalibration,
+    SpecShape,
+    estimate_batch_job,
+    estimate_cost,
+    estimate_from_shape,
+    spec_shape,
+)
 from .pipeline import Pipeline
 from .profiling import collecting_pass_timings
 from .state import EngineState
@@ -57,6 +65,7 @@ __all__ = [
     "CacheTelemetry",
     "DecompositionCache",
     "EngineState",
+    "FamilyCalibration",
     "JobOutcome",
     "GroupingPass",
     "IdentityAnalysisPass",
@@ -66,6 +75,7 @@ __all__ = [
     "Pipeline",
     "RewritePass",
     "SizeReductionPass",
+    "SpecShape",
     "SynthesisCache",
     "cache_key",
     "collecting_pass_timings",
@@ -73,6 +83,9 @@ __all__ = [
     "decompose_cached",
     "decomposition_digest",
     "deserialize_decomposition",
+    "estimate_batch_job",
+    "estimate_cost",
+    "estimate_from_shape",
     "job_fingerprint",
     "map_parallel",
     "netlist_digest",
@@ -80,5 +93,6 @@ __all__ = [
     "serialize_decomposition",
     "shard_map",
     "shard_workers",
+    "spec_shape",
     "synthesis_cache_key",
 ]

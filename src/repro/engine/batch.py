@@ -60,6 +60,7 @@ from .cache import (
     deserialize_decomposition,
     serialize_decomposition,
 )
+from .cost import estimate_batch_job
 from .pipeline import Pipeline
 
 
@@ -313,18 +314,29 @@ class BatchOrchestrator:
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             raise ValueError("batch job names must be unique")
+        # Dispatch longest-first (LPT): the cost model prices each job
+        # pre-execution so the pool never starts its heaviest job last and
+        # idles N-1 workers behind one straggler.  The sort key is the
+        # estimate, the tiebreaker is submission order (sorted() is stable).
+        order = sorted(
+            range(len(jobs)),
+            key=lambda i: -estimate_batch_job(
+                jobs[i].builder, jobs[i].args, jobs[i].kwargs
+            ),
+        )
         payloads = [
             (job.name, job.builder, job.args, dict(job.kwargs), job.options,
              self.cache_dir, self.use_job_index)
-            for job in jobs
+            for job in (jobs[i] for i in order)
         ]
         raw = map_parallel(_execute_job, payloads, processes=self.processes)
-        results: Dict[str, BatchResult] = {}
+        by_name: Dict[str, BatchResult] = {}
         for name, record, seconds, hit in raw:
-            results[name] = BatchResult(
+            by_name[name] = BatchResult(
                 name=name,
                 decomposition=deserialize_decomposition(record),
                 seconds=seconds,
                 cache_hit=hit,
             )
-        return results
+        # Callers iterate results in submission order; undo the LPT shuffle.
+        return {name: by_name[name] for name in names}

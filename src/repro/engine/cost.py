@@ -1,0 +1,225 @@
+"""Width-weighted job cost model shared by the batch orchestrator and the
+service admission layer.
+
+Every consumer of the engine that has to make a scheduling decision *before*
+running a job needs the same thing: a cheap, monotone estimate of how much
+work a spec will demand.  This module provides it in **cost units** —
+approximately milliseconds of single-core engine time on the machine the
+committed benchmarks were recorded on (``benchmarks/BENCH_native.json``).
+
+The estimate is anchored per circuit family: each family gets a reference
+point ``(ref_width, ref_cost)`` taken from the committed quick-sweep timing
+and a per-input-bit growth factor fitted from the quick→full width
+trajectory (``BENCH_native_full.json``).  The growth factors track the ANF
+term-count bounds of the benchcircuits — the comparator's ~3×/bit mirrors
+its exact ``3^w`` product-of-XNORs term count, the LOD/counter families are
+near-flat because their term counts grow polynomially while the dominant
+slabs stay narrow.  Absolute numbers drift with hardware; *ratios and
+orderings* are what the admission layer and the batch scheduler consume,
+and those are stable properties of the algorithms.
+
+Users:
+
+- :meth:`repro.engine.batch.BatchOrchestrator.run` sorts job payloads by
+  estimated cost (longest first) so a process pool is not left waiting on
+  one straggler submitted last;
+- :mod:`repro.service.admission` prices each HTTP job submission for
+  per-client token-bucket quotas and load-shedding watermarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+__all__ = [
+    "CACHED_COST",
+    "CALIBRATION",
+    "DEFAULT_COST",
+    "FamilyCalibration",
+    "MIN_COST",
+    "SpecShape",
+    "estimate_batch_job",
+    "estimate_cost",
+    "estimate_from_shape",
+    "spec_shape",
+]
+
+#: Floor for every estimate — even a trivial job costs request parsing, a
+#: cache probe and a result round-trip.
+MIN_COST = 1.0
+
+#: Serving a job whose decomposition is already in the on-disk store costs a
+#: job-index lookup plus record deserialisation, independent of width.
+CACHED_COST = 2.0
+
+#: Fallback for circuits the calibration table has never seen.
+DEFAULT_COST = 100.0
+
+#: ``delay_ms`` holds a worker for exactly its duration; one cost unit is
+#: one millisecond, so it converts 1:1.
+_DELAY_UNIT_PER_MS = 1.0
+
+#: Synthesis continues through structuring + technology mapping: a small
+#: fixed pass overhead plus per-output netlist work.
+_SYNTH_BASE = 2.0
+_SYNTH_PER_OUTPUT = 0.5
+
+#: Verify ratio assumed for families without a calibrated measurement.
+_DEFAULT_VERIFY_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class SpecShape:
+    """Pre-execution shape of a specification: what the truth-table looks
+    like before the engine touches it.  All three fields are monotone
+    knobs — more inputs, more outputs or more ANF terms never make a job
+    cheaper."""
+
+    inputs: int
+    outputs: int
+    log2_terms: float
+
+
+@dataclass(frozen=True)
+class FamilyCalibration:
+    """Per-circuit-family anchor: measured cost at a reference width and the
+    fitted per-input-bit growth multiplier."""
+
+    ref_width: int
+    #: Cost units (~ms single-core) at ``ref_width``, from BENCH_native.json.
+    ref_cost: float
+    #: Multiplier per extra width bit, fitted from BENCH_native_full.json.
+    growth: float
+    #: Exact-verification cost as a fraction of build cost at ``ref_width``.
+    verify_ratio: float
+
+
+#: Anchors from ``benchmarks/BENCH_native.json`` (quick sweep, seconds×1000)
+#: with growth and verify ratios fitted against ``BENCH_native_full.json``.
+CALIBRATION: Mapping[str, FamilyCalibration] = {
+    "adder": FamilyCalibration(11, 21.5, 1.42, 0.25),
+    "comparator": FamilyCalibration(12, 20.6, 2.90, 2.40),
+    "counter": FamilyCalibration(14, 23.3, 1.10, 0.25),
+    "lod": FamilyCalibration(28, 22.6, 1.03, 0.11),
+    "lzd": FamilyCalibration(14, 9.9, 1.15, 0.77),
+    "majority": FamilyCalibration(13, 7.9, 1.32, 0.20),
+    "three_input_adder": FamilyCalibration(6, 13.3, 1.90, 0.56),
+}
+
+
+def spec_shape(circuit: str, width: int) -> Optional[SpecShape]:
+    """Closed-form :class:`SpecShape` for a known benchcircuit family.
+
+    Input/output counts are exact; ``log2_terms`` is the fitted per-family
+    ANF term-count trend (exact for the comparator, whose product of
+    per-bit XNORs has precisely ``3^width`` terms).  Returns ``None`` for
+    unknown families.
+    """
+    w = max(1, int(width))
+    log_outputs = int(math.floor(math.log2(w))) + 1
+    shapes: Mapping[str, SpecShape] = {
+        "adder": SpecShape(2 * w, w + 1, 2.3 + 1.0 * w),
+        "comparator": SpecShape(2 * w, 1, w * math.log2(3.0)),
+        "counter": SpecShape(w, log_outputs, 2.0 + 0.85 * math.log2(w + 1) * 2),
+        "lod": SpecShape(w, log_outputs, 1.5 + 1.2 * math.log2(w + 1)),
+        "lzd": SpecShape(w, log_outputs, 2.5 + 0.95 * w),
+        "majority": SpecShape(w, 1, 1.0 + 0.9 * w),
+        "three_input_adder": SpecShape(3 * w, w + 2, 4.0 + 1.95 * w),
+    }
+    return shapes.get(circuit)
+
+
+def estimate_from_shape(shape: SpecShape) -> float:
+    """Generic estimate for a spec known only by shape.
+
+    A coarse surrogate for the engine's slab work — per-output passes over
+    a term population that widens with the input count.  Strictly monotone
+    (non-decreasing) in each of ``inputs``, ``outputs`` and
+    ``log2_terms``; used as the fallback when no family calibration
+    exists, and as the subject of the monotonicity property tests.
+    """
+    inputs = max(0, shape.inputs)
+    outputs = max(1, shape.outputs)
+    terms = 2.0 ** max(0.0, float(shape.log2_terms))
+    # Term-slab work dominates; the per-input factor models the widening of
+    # each packed row, the per-output term the repeated grouping passes.
+    slab = 0.004 * terms * (1.0 + inputs / 64.0)
+    return max(MIN_COST, slab * (1.0 + 0.15 * (outputs - 1)))
+
+
+def _base_cost(circuit: str, width: int) -> float:
+    """Build cost (cost units) for a cold decomposition of ``circuit`` at
+    ``width`` — calibrated anchor when known, shape fallback otherwise."""
+    cal = CALIBRATION.get(circuit)
+    if cal is not None:
+        return max(MIN_COST, cal.ref_cost * cal.growth ** (width - cal.ref_width))
+    shape = spec_shape(circuit, width)
+    if shape is not None:
+        return estimate_from_shape(shape)
+    return DEFAULT_COST
+
+
+def estimate_cost(
+    circuit: str,
+    width: int,
+    *,
+    kind: str = "decompose",
+    verify: bool = False,
+    delay_ms: int = 0,
+    cached: bool = False,
+) -> float:
+    """Estimated cost units for one service job spec.
+
+    ``cached=True`` means the decomposition is already in the on-disk store
+    (the dominant work collapses to a record load); verification and
+    synthesis still add their share on top, and ``delay_ms`` always counts
+    1:1 since it holds a worker for its full duration.  Monotone in
+    ``width`` and in every additive knob.
+    """
+    base = _base_cost(circuit, width)
+    cost = CACHED_COST if cached else base
+    if verify:
+        cal = CALIBRATION.get(circuit)
+        ratio = cal.verify_ratio if cal is not None else _DEFAULT_VERIFY_RATIO
+        # Verification re-evaluates the full truth table even on a disk
+        # hit, so it is priced off the *build* cost, not the served cost.
+        cost += ratio * base
+    if kind == "synthesize":
+        shape = spec_shape(circuit, width)
+        outputs = shape.outputs if shape is not None else max(1, width)
+        cost += _SYNTH_BASE + _SYNTH_PER_OUTPUT * outputs
+    cost += max(0, int(delay_ms)) * _DELAY_UNIT_PER_MS
+    return max(MIN_COST, cost)
+
+
+def _builder_family(builder: Callable[..., Any]) -> str:
+    name = getattr(builder, "__name__", "") or ""
+    return name[: -len("_spec")] if name.endswith("_spec") else name
+
+
+def estimate_batch_job(
+    builder: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[Mapping[str, Any]] = None,
+) -> float:
+    """Estimated cost of one :class:`~repro.engine.batch.BatchJob`.
+
+    Resolves the circuit family from the builder's name (``adder_spec`` →
+    ``adder``) and the width from the first integer argument, mirroring the
+    benchcircuit builder convention.  Jobs the model cannot price get
+    :data:`DEFAULT_COST` so they sort mid-pack rather than last.
+    """
+    kwargs = kwargs or {}
+    family = _builder_family(builder)
+    width: Optional[int] = None
+    for candidate in (*args, kwargs.get("width"), kwargs.get("n")):
+        if isinstance(candidate, int) and not isinstance(candidate, bool):
+            width = candidate
+            break
+    if width is None:
+        return DEFAULT_COST
+    if family not in CALIBRATION and spec_shape(family, width) is None:
+        return DEFAULT_COST
+    return _base_cost(family, width)

@@ -66,6 +66,10 @@ Known sites (see ``docs/RELIABILITY.md`` for the full table):
 ``cache.index.payload``   the job-index bytes about to be written (data site)
 ``cache.index.rename``    between index tmp write and its rename
 ``cache.load``            before a cache record read
+``admission.admit``       after an admit decision, before its queue cost is
+                          booked (tag: client:circuit-width)
+``admission.shed``        on a throttle/shed/brownout rejection, before the
+                          429 is rendered (tag: client:circuit-width)
 ========================  =====================================================
 """
 

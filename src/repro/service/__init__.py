@@ -5,10 +5,18 @@ the operator's guide (endpoints, job lifecycle, dedup semantics, shutdown).
 
 The package splits into the job model (:mod:`repro.service.jobs`: spec
 validation, canonical job digests, the pool-worker body), the operating
-point counters (:mod:`repro.service.metrics`) and the asyncio HTTP server
+point counters (:mod:`repro.service.metrics`), the admission layer
+(:mod:`repro.service.admission`: width-weighted cost quotas, load
+shedding, brownout) and the asyncio HTTP server
 (:mod:`repro.service.server`), all stdlib + the existing engine.
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+    admission_config_from_env,
+)
 from .jobs import (
     CIRCUITS,
     Job,
@@ -28,6 +36,8 @@ from .server import (
 
 __all__ = [
     "CIRCUITS",
+    "AdmissionConfig",
+    "AdmissionController",
     "DecompositionService",
     "Job",
     "JobSpec",
@@ -36,6 +46,8 @@ __all__ = [
     "ServiceMetrics",
     "ServiceThread",
     "SpecError",
+    "TokenBucket",
+    "admission_config_from_env",
     "execute_job",
     "parse_job_spec",
     "run_service",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -85,6 +86,11 @@ MAX_JOB_TIMEOUT = 600.0
 #: Ceiling on a spec's retry-count override.
 MAX_JOB_RETRIES = 10
 
+#: Ceiling on an admission client identifier (spec ``client`` field or
+#: ``X-Repro-Client`` header); the charset keeps metric keys printable.
+MAX_CLIENT_LEN = 64
+_CLIENT_RE = re.compile(r"[A-Za-z0-9._-]+")
+
 #: DecompositionOptions fields a spec may set (everything tunable; the
 #: block prefix stays fixed so cache records remain interchangeable).
 _OPTION_FIELDS = {
@@ -127,6 +133,11 @@ class JobSpec:
     #: Per-job retry-budget override for attempts lost to worker crashes;
     #: ``None`` uses the server default.  Also excluded from the digest.
     max_retries: Optional[int] = None
+    #: Admission identity (quota accounting); the ``X-Repro-Client`` header
+    #: takes precedence over this field.  Pure scheduling policy — excluded
+    #: from the digest, so two clients asking for the same computation
+    #: still deduplicate onto one execution.
+    client: Optional[str] = None
 
     def payload(self) -> dict:
         """Canonical JSON-ready form (worker payload + digest input)."""
@@ -143,7 +154,23 @@ class JobSpec:
             payload["timeout"] = self.timeout
         if self.max_retries is not None:
             payload["max_retries"] = self.max_retries
+        if self.client is not None:
+            payload["client"] = self.client
         return payload
+
+    def job_key(self) -> str:
+        """The engine-level job fingerprint (builder + args + pipeline).
+
+        This is exactly the key the worker's ``run_job`` uses for the
+        on-disk job index, which lets the admission layer ask "is this
+        decomposition already on disk?" before pricing a submission.
+        """
+        return job_fingerprint(
+            CIRCUITS[self.circuit],
+            (self.width,),
+            {},
+            Pipeline.from_options(self.options).config_key(),
+        )
 
     def digest(self) -> str:
         """The in-flight deduplication key.
@@ -154,12 +181,7 @@ class JobSpec:
         objective, verify flag, test delay) — two specs digest equal iff
         serving one result satisfies both submissions.
         """
-        base = job_fingerprint(
-            CIRCUITS[self.circuit],
-            (self.width,),
-            {},
-            Pipeline.from_options(self.options).config_key(),
-        )
+        base = self.job_key()
         extra = json.dumps(
             {
                 "kind": self.kind,
@@ -181,7 +203,7 @@ def parse_job_spec(data: object) -> JobSpec:
     """
     _require(isinstance(data, dict), "job spec must be a JSON object")
     known = {"kind", "circuit", "width", "options", "objective", "verify",
-             "delay_ms", "timeout", "max_retries"}
+             "delay_ms", "timeout", "max_retries", "client"}
     for key in data:
         _require(key in known, f"unknown field {key!r}", key)
 
@@ -251,6 +273,16 @@ def parse_job_spec(data: object) -> JobSpec:
             "max_retries",
         )
 
+    client = data.get("client")
+    if client is not None:
+        _require(
+            isinstance(client, str) and 1 <= len(client) <= MAX_CLIENT_LEN
+            and _CLIENT_RE.fullmatch(client) is not None,
+            "client must be 1-"
+            f"{MAX_CLIENT_LEN} characters from [A-Za-z0-9._-]",
+            "client",
+        )
+
     return JobSpec(
         kind=kind,
         circuit=circuit,
@@ -261,6 +293,7 @@ def parse_job_spec(data: object) -> JobSpec:
         delay_ms=delay_ms,
         timeout=timeout,
         max_retries=max_retries,
+        client=client,
     )
 
 
@@ -276,6 +309,7 @@ def spec_from_payload(payload: Mapping) -> JobSpec:
         delay_ms=payload["delay_ms"],
         timeout=payload.get("timeout"),
         max_retries=payload.get("max_retries"),
+        client=payload.get("client"),
     )
 
 
@@ -399,6 +433,9 @@ class Job:
     #: Execution attempts the computation behind this job consumed
     #: (0 while queued/deduplicated, >1 after worker-death retries).
     attempts: int = 0
+    #: True when brownout degradation stripped optional work (the
+    #: ``verify`` flag) from the submitted spec before execution.
+    degraded: bool = False
 
     def finish(self, result: Optional[dict], error: Optional[str],
                error_detail: Optional[dict] = None) -> None:
@@ -431,6 +468,8 @@ class Job:
             body["latency_seconds"] = round(self.latency_seconds, 4)
         if self.attempts:
             body["attempts"] = self.attempts
+        if self.degraded:
+            body["degraded"] = True
         if self.result is not None:
             body["result"] = self.result
         if self.error is not None:

@@ -94,9 +94,20 @@ class ServiceMetrics:
             return 0.0
         return self.dedup_inflight_hits / self.jobs_submitted
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(
+        self,
+        admission: Optional[Dict[str, object]] = None,
+        quarantine_size: int = 0,
+    ) -> Dict[str, object]:
+        """JSON-ready metrics body.
+
+        ``admission`` is the admission controller's own snapshot (the
+        controller lives in the server, not here) and ``quarantine_size``
+        the current entry count of the server's quarantine map — both are
+        event-loop-owned, so the server passes them in at render time.
+        """
         window = sorted(self.latencies)
-        return {
+        body: Dict[str, object] = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "jobs": {
                 "submitted": self.jobs_submitted,
@@ -123,6 +134,7 @@ class ServiceMetrics:
                 "timeouts": self.timeouts,
                 "worker_deaths": self.worker_deaths,
                 "quarantined_jobs": self.quarantined_jobs,
+                "quarantine_size": quarantine_size,
                 "request_timeouts": self.request_timeouts,
             },
             "latency_seconds": {
@@ -132,3 +144,6 @@ class ServiceMetrics:
                 "max": round(window[-1], 4) if window else 0.0,
             },
         }
+        if admission is not None:
+            body["admission"] = admission
+        return body

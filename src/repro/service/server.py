@@ -40,8 +40,11 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import dataclasses
 import json
+import math
 import random
+import re
 import threading
 import time
 import urllib.parse
@@ -50,9 +53,30 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..engine.cache import corrupt_record_count
+from .. import faults
+from ..engine.cache import DecompositionCache, corrupt_record_count
+from ..engine.cost import estimate_cost
 from ..parallel import mark_pool_worker, pool_context
-from .jobs import Job, JobState, SpecError, new_job_id, parse_job_spec, execute_job
+from .admission import (
+    ADMIT,
+    CACHE_ONLY,
+    SHED,
+    THROTTLE,
+    AdmissionConfig,
+    AdmissionController,
+    Decision,
+    admission_config_from_env,
+)
+from .jobs import (
+    MAX_CLIENT_LEN,
+    Job,
+    JobSpec,
+    JobState,
+    SpecError,
+    new_job_id,
+    parse_job_spec,
+    execute_job,
+)
 from .metrics import ServiceMetrics
 
 #: Largest accepted request body; job specs are a few hundred bytes.
@@ -93,6 +117,10 @@ class ServiceConfig:
     #: Per-connection limit on reading the request line + headers + body
     #: (seconds); a slow or stalled client gets a structured HTTP 408.
     read_timeout: float = 30.0
+    #: Admission-control operating point (quotas, shedding watermarks,
+    #: brownout).  ``None`` reads ``REPRO_ADMISSION_*`` from the
+    #: environment at service construction; tests pass an explicit config.
+    admission: Optional[AdmissionConfig] = None
 
 
 class _InFlight:
@@ -105,9 +133,11 @@ class _InFlight:
     """
 
     __slots__ = ("primary", "subscribers", "future", "attempts",
-                 "max_retries", "timeout", "timeout_handle", "settled")
+                 "max_retries", "timeout", "timeout_handle", "settled",
+                 "admission")
 
-    def __init__(self, primary: Job, timeout: float, max_retries: int) -> None:
+    def __init__(self, primary: Job, timeout: float, max_retries: int,
+                 admission: Optional[Decision] = None) -> None:
         self.primary = primary
         self.subscribers: List[Job] = []
         self.future: Optional["asyncio.Future"] = None
@@ -116,13 +146,18 @@ class _InFlight:
         self.timeout = timeout
         self.timeout_handle: Optional[asyncio.TimerHandle] = None
         self.settled = False
+        #: Admission decision whose queued cost is released on settle.
+        self.admission = admission
 
 
 class HttpError(Exception):
-    def __init__(self, status: int, message: str, detail: Optional[dict] = None) -> None:
+    def __init__(self, status: int, message: str, detail: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
         self.body = {"error": detail or {"message": message}}
+        #: Extra response headers (e.g. ``Retry-After`` on a 429).
+        self.headers = headers
 
 
 class DecompositionService:
@@ -131,6 +166,13 @@ class DecompositionService:
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            config.admission if config.admission is not None
+            else admission_config_from_env()
+        )
+        #: Cache handle for pre-admission "already on disk?" probes; opened
+        #: lazily so a cache-less service never creates a directory.
+        self._admission_cache: Optional[DecompositionCache] = None
         self.jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._events: Dict[str, asyncio.Event] = {}
         self._inflight: Dict[str, _InFlight] = {}
@@ -249,12 +291,16 @@ class DecompositionService:
         cf_future = self._pool.submit(execute_job, payload, self.config.cache_dir)
         return asyncio.wrap_future(cf_future, loop=self._loop)
 
-    def submit(self, job: Job) -> None:
+    def submit(self, job: Job, decision: Optional[Decision] = None) -> None:
         """Route a validated job: attach to an in-flight twin or execute.
 
         Quarantined digests (specs that crashed their worker through the
         whole retry budget) fail fast with a structured error until their
         TTL expires — one poisoned spec cannot grind the pool down forever.
+
+        ``decision`` is the admission decision that let this job in; its
+        registered queue cost is released when the job settles (or right
+        here, for paths that never reach the executor).
         """
         self.metrics.jobs_submitted += 1
         self._register_job(job)
@@ -268,6 +314,7 @@ class DecompositionService:
                     {"type": "Quarantined",
                      "retry_after_seconds": round(expiry - time.monotonic(), 3)},
                 )
+                self.admission.settle(decision)
                 return
             del self._quarantine[job.digest]
         entry = self._inflight.get(job.digest)
@@ -277,6 +324,7 @@ class DecompositionService:
             job.state = JobState.RUNNING
             entry.subscribers.append(job)
             self.metrics.dedup_inflight_hits += 1
+            self.admission.settle(decision)  # dedup registers no queue cost
             return
         job.state = JobState.RUNNING
         spec = job.spec
@@ -285,6 +333,7 @@ class DecompositionService:
             timeout=spec.timeout if spec.timeout is not None else self.config.job_timeout,
             max_retries=(spec.max_retries if spec.max_retries is not None
                          else self.config.max_retries),
+            admission=decision,
         )
         self._inflight[job.digest] = entry
         self.metrics.queue_depth += 1
@@ -336,6 +385,7 @@ class DecompositionService:
         self.metrics.queue_depth = max(0, self.metrics.queue_depth - 1)
         self.metrics.inflight_unique = len(self._inflight)
         entry.primary.attempts = entry.attempts
+        self.admission.settle(entry.admission)
         if error is None and isinstance(result, dict):
             self.metrics.record_outcome(bool(result.get("decomposition_cached")))
         for job in (entry.primary, *entry.subscribers):
@@ -380,6 +430,10 @@ class DecompositionService:
             self._loop.call_later(delay, self._launch, entry)
             return
         self.metrics.quarantined_jobs += 1
+        # Sweep expired digests before inserting: without this, a digest
+        # that is never resubmitted would sit in the map forever (the only
+        # other deletion path is a same-digest resubmission after expiry).
+        self._sweep_quarantine()
         self._quarantine[entry.primary.digest] = (
             time.monotonic() + self.config.quarantine_ttl
         )
@@ -407,6 +461,14 @@ class DecompositionService:
              "attempts": entry.attempts},
         )
 
+    def _sweep_quarantine(self, now: Optional[float] = None) -> None:
+        """Drop every expired quarantine entry (leak fix: expiry used to be
+        checked only on a same-digest resubmission)."""
+        now = time.monotonic() if now is None else now
+        expired = [d for d, expiry in self._quarantine.items() if now >= expiry]
+        for digest in expired:
+            del self._quarantine[digest]
+
     # ------------------------------------------------------------------
     # HTTP layer
     # ------------------------------------------------------------------
@@ -417,7 +479,7 @@ class DecompositionService:
                 # A slow or stalled client (slowloris, dripped headers,
                 # missing body bytes) must not pin a connection handler
                 # forever: the whole request read shares one deadline.
-                method, path, query, body = await asyncio.wait_for(
+                method, path, query, body, headers = await asyncio.wait_for(
                     self._read_request(reader), self.config.read_timeout
                 )
             except asyncio.TimeoutError:
@@ -429,14 +491,16 @@ class DecompositionService:
                 }})
                 return
             except HttpError as exc:
-                await self._respond(writer, exc.status, exc.body)
+                await self._respond(writer, exc.status, exc.body,
+                                    extra_headers=exc.headers)
                 return
             except (asyncio.IncompleteReadError, ConnectionError, ValueError):
                 return
             try:
-                await self._route(writer, method, path, query, body)
+                await self._route(writer, method, path, query, body, headers)
             except HttpError as exc:
-                await self._respond(writer, exc.status, exc.body)
+                await self._respond(writer, exc.status, exc.body,
+                                    extra_headers=exc.headers)
             except ConnectionError:
                 pass
             except Exception as exc:  # never leak a traceback as a hung socket
@@ -452,7 +516,7 @@ class DecompositionService:
                 pass
 
     async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> Tuple[str, str, dict, bytes]:
+                            ) -> Tuple[str, str, dict, bytes, Dict[str, str]]:
         request_line = await reader.readline()
         if not request_line.strip():
             raise ValueError("empty request")
@@ -479,26 +543,33 @@ class DecompositionService:
             key: values[-1]
             for key, values in urllib.parse.parse_qs(parsed.query).items()
         }
-        return method.upper(), parsed.path, query, body
+        return method.upper(), parsed.path, query, body, headers
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       body: dict, reason: str = "") -> None:
+                       body: dict, reason: str = "",
+                       extra_headers: Optional[Dict[str, str]] = None) -> None:
         payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
         reason = reason or {200: "OK", 202: "Accepted", 400: "Bad Request",
                             404: "Not Found", 405: "Method Not Allowed",
                             408: "Request Timeout", 413: "Payload Too Large",
+                            429: "Too Many Requests",
                             500: "Internal Server Error",
                             503: "Service Unavailable"}.get(status, "")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extras}"
             f"Connection: close\r\n\r\n".encode("latin-1") + payload
         )
         await writer.drain()
 
     async def _route(self, writer, method: str, path: str, query: dict,
-                     body: bytes) -> None:
+                     body: bytes, headers: Optional[Dict[str, str]] = None
+                     ) -> None:
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200, {
                 "status": "draining" if self._draining else "ok",
@@ -508,7 +579,14 @@ class DecompositionService:
             })
             return
         if path == "/metrics" and method == "GET":
-            snapshot = self.metrics.snapshot()
+            # The scrape doubles as a periodic tick: expired quarantine
+            # entries are swept and the brownout hold timers advance (via
+            # the admission snapshot), so recovery never waits for traffic.
+            self._sweep_quarantine()
+            snapshot = self.metrics.snapshot(
+                admission=self.admission.snapshot(),
+                quarantine_size=len(self._quarantine),
+            )
             snapshot["cache"]["corrupt_records"] = (
                 corrupt_record_count(self.config.cache_dir)
                 if self.config.cache_dir else 0
@@ -516,7 +594,7 @@ class DecompositionService:
             await self._respond(writer, 200, snapshot)
             return
         if path == "/jobs" and method == "POST":
-            await self._handle_submit(writer, query, body)
+            await self._handle_submit(writer, query, body, headers or {})
             return
         if path == "/jobs" and method == "GET":
             brief = [
@@ -545,7 +623,86 @@ class DecompositionService:
         raise HttpError(404 if method in ("GET", "POST") else 405,
                         f"no route for {method} {path}")
 
-    async def _handle_submit(self, writer, query: dict, body: bytes) -> None:
+    # Admission rejection -> typed ``error_detail`` for client branching.
+    _ADMISSION_ERROR_TYPES = {
+        THROTTLE: "ClientThrottled",
+        SHED: "AdmissionShed",
+        CACHE_ONLY: "BrownoutCacheOnly",
+    }
+    _ADMISSION_ERROR_MESSAGES = {
+        THROTTLE: "per-client cost quota exhausted; retry after the bucket refills",
+        SHED: "admission queue is past its cost watermark; expensive work is "
+              "being shed",
+        CACHE_ONLY: "server is in cache-only brownout; only cached, cheap or "
+                    "deduplicated work is admitted",
+    }
+
+    def _spec_cached(self, spec: JobSpec) -> bool:
+        """True when the spec's decomposition is already in the disk store
+        (a submission that collapses to a record load, priced accordingly)."""
+        if not self.config.cache_dir:
+            return False
+        if self._admission_cache is None:
+            self._admission_cache = DecompositionCache(self.config.cache_dir)
+        try:
+            return self._admission_cache.load_index(spec.job_key()) is not None
+        except Exception:
+            return False
+
+    def _admit(self, spec: JobSpec, headers: Dict[str, str]
+               ) -> Tuple[JobSpec, Optional[Decision], bool]:
+        """Run one submission through admission control.
+
+        Returns the (possibly brownout-degraded) spec, the admission
+        decision to settle at job completion, and whether optional work was
+        stripped.  Raises a structured 429 :class:`HttpError` (with
+        ``Retry-After``) when the submission is refused.
+        """
+        admission = self.admission
+        if not admission.config.enabled:
+            return spec, None, False
+        client = _client_id(headers, spec)
+        # Degrade before digesting: stripping ``verify`` changes the digest,
+        # which is exactly what lets a degraded submission dedup against
+        # (and be served by) the cheaper computation.
+        degraded = False
+        if spec.verify and admission.brownout_state() != "normal":
+            spec = dataclasses.replace(spec, verify=False)
+            degraded = True
+        dedup = spec.digest() in self._inflight
+        cached = False if dedup else self._spec_cached(spec)
+        cost = estimate_cost(
+            spec.circuit, spec.width, kind=spec.kind, verify=spec.verify,
+            delay_ms=spec.delay_ms, cached=cached,
+        )
+        decision = admission.decide(client, cost, cached=cached, dedup=dedup)
+        tag = f"{client}:{spec.circuit}-{spec.width}"
+        if decision.action != ADMIT:
+            faults.hit("admission.shed", tag=tag)
+            retry_after = max(1, math.ceil(decision.retry_after))
+            kind = self._ADMISSION_ERROR_TYPES[decision.action]
+            raise HttpError(
+                429, self._ADMISSION_ERROR_MESSAGES[decision.action],
+                {
+                    "type": kind,
+                    "message": self._ADMISSION_ERROR_MESSAGES[decision.action],
+                    "client": client,
+                    "estimated_cost": round(decision.cost, 3),
+                    "retry_after_seconds": retry_after,
+                    "brownout": decision.brownout,
+                },
+                headers={"Retry-After": str(retry_after)},
+            )
+        # The fault site fires *before* the queue books are touched, so an
+        # injected crash here can never leak admitted cost.
+        faults.hit("admission.admit", tag=tag)
+        admission.register(decision)
+        if degraded:
+            admission.degraded_jobs += 1
+        return spec, decision, degraded
+
+    async def _handle_submit(self, writer, query: dict, body: bytes,
+                             headers: Dict[str, str]) -> None:
         if self._draining:
             raise HttpError(503, "server is draining; not accepting jobs")
         try:
@@ -558,8 +715,10 @@ class DecompositionService:
         except SpecError as exc:
             self.metrics.jobs_rejected += 1
             raise HttpError(400, "bad spec", exc.detail)
-        job = Job(id=new_job_id(), spec=spec, digest=spec.digest())
-        self.submit(job)
+        spec, decision, degraded = self._admit(spec, headers)
+        job = Job(id=new_job_id(), spec=spec, digest=spec.digest(),
+                  degraded=degraded)
+        self.submit(job, decision)
         if _truthy(query.get("wait")):
             await self._await_job(job, query)
             await self._respond(writer, 200, job.status())
@@ -610,6 +769,24 @@ class DecompositionService:
                 (json.dumps(job.status(), sort_keys=True) + "\n").encode("utf-8")
             )
             await writer.drain()
+
+
+#: Characters kept from an ``X-Repro-Client`` header value.  The header is
+#: sanitised rather than rejected (it is advisory identity, not a spec
+#: field) so a stray quote or space cannot 400 an otherwise valid job —
+#: but only this charset survives, bounding metric-key cardinality.
+_CLIENT_SANITIZE_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Admission identity for requests that declare none.
+DEFAULT_CLIENT = "default"
+
+
+def _client_id(headers: Dict[str, str], spec: JobSpec) -> str:
+    """Admission identity: ``X-Repro-Client`` header, else the spec's
+    ``client`` field, else :data:`DEFAULT_CLIENT`."""
+    raw = headers.get("x-repro-client", "") or spec.client or ""
+    cleaned = _CLIENT_SANITIZE_RE.sub("", raw)[:MAX_CLIENT_LEN]
+    return cleaned or DEFAULT_CLIENT
 
 
 def _truthy(value: Optional[str]) -> bool:

@@ -1,0 +1,555 @@
+"""Admission control: token buckets, shedding, brownout, and the 429 path.
+
+The unit half drives :class:`AdmissionController` with an injected fake
+clock, so every hold timer and refill is deterministic.  The end-to-end
+half runs the real server (``ServiceThread``) with deliberately tiny
+:class:`AdmissionConfig` operating points and asserts the HTTP contract:
+a heavy client gets a structured 429 with ``Retry-After`` while a light
+client on the same server stays untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.engine.cost import estimate_cost
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    ServiceThread,
+    SpecError,
+    TokenBucket,
+    parse_job_spec,
+)
+from repro.service.admission import (
+    ADMIT,
+    CACHE_ONLY,
+    DEDUP_COST,
+    SHED,
+    THROTTLE,
+    admission_config_from_env,
+)
+
+from test_service import http_json
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    monkeypatch.delenv(faults.ENV, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def post_spec_raw(base_url, spec, headers=None, wait=True, timeout=60.0):
+    """Like ``post_spec`` but returns (status, body, headers) and does not
+    raise on 4xx — admission rejections are an expected outcome here."""
+    suffix = "?wait=1" if wait else ""
+    request = urllib.request.Request(
+        f"{base_url}/jobs{suffix}",
+        data=json.dumps(spec).encode("utf-8"),
+        headers=headers or {},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_charges_down(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0, now=0.0)
+        assert bucket.try_charge(30.0, 0.0) == 0.0
+        assert bucket.tokens == pytest.approx(70.0)
+
+    def test_unaffordable_charge_reports_wait_without_charging(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0, now=0.0)
+        bucket.try_charge(30.0, 0.0)
+        wait = bucket.try_charge(200.0, 0.0)  # need = min(200, burst) = 100
+        assert wait == pytest.approx(3.0)
+        assert bucket.tokens == pytest.approx(70.0)  # untouched
+
+    def test_oversized_job_drives_the_bucket_into_debt(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0, now=0.0)
+        assert bucket.try_charge(250.0, 0.0) == 0.0  # affordable at full burst
+        assert bucket.tokens == pytest.approx(-150.0)
+        # the debt must refill before anything else is admitted
+        wait = bucket.try_charge(10.0, 0.0)
+        assert wait == pytest.approx(16.0)  # (10 - (-150)) / 10
+
+    def test_refill_is_lazy_and_capped_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0, now=0.0)
+        bucket.try_charge(100.0, 0.0)
+        assert bucket.try_charge(50.0, 5.0) == 0.0  # refilled to 50 by t=5
+        bucket.try_charge(0.0, 1000.0)
+        assert bucket.tokens == pytest.approx(100.0)  # never above burst
+
+    def test_clock_going_backwards_does_not_drain_tokens(self):
+        bucket = TokenBucket(rate=10.0, burst=100.0, now=50.0)
+        bucket.try_charge(0.0, 10.0)
+        assert bucket.tokens == pytest.approx(100.0)
+
+
+# ----------------------------------------------------------------------
+# Environment parsing
+# ----------------------------------------------------------------------
+class TestConfigFromEnv:
+    def test_defaults_without_environment(self, monkeypatch):
+        for name in list(__import__("os").environ):
+            if name.startswith("REPRO_ADMISSION"):
+                monkeypatch.delenv(name)
+        config = admission_config_from_env()
+        assert config == AdmissionConfig()
+        assert config.enabled
+
+    def test_master_switch(self, monkeypatch):
+        for value in ("0", "false", "off", "no"):
+            monkeypatch.setenv("REPRO_ADMISSION", value)
+            assert not admission_config_from_env().enabled
+        monkeypatch.setenv("REPRO_ADMISSION", "1")
+        assert admission_config_from_env().enabled
+
+    def test_malformed_value_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADMISSION_RATE", "plenty")
+        with pytest.warns(RuntimeWarning, match="REPRO_ADMISSION_RATE"):
+            config = admission_config_from_env()
+        assert config.rate == AdmissionConfig().rate
+
+    def test_below_minimum_warns_and_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADMISSION_BURST", "-5")
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            config = admission_config_from_env()
+        assert config.burst == 1.0
+
+    def test_explicit_values_land(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADMISSION_RATE", "400")
+        monkeypatch.setenv("REPRO_ADMISSION_MAX_QUEUE_DEPTH", "64")
+        config = admission_config_from_env()
+        assert config.rate == 400.0
+        assert config.max_queue_depth == 64
+
+
+# ----------------------------------------------------------------------
+# The decision, two-phase bookkeeping and client tracking
+# ----------------------------------------------------------------------
+def controller(clock, **overrides) -> AdmissionController:
+    defaults = dict(rate=10.0, burst=100.0, max_queue_cost=1000.0,
+                    max_queue_depth=8, cheap_cost=5.0,
+                    brownout_high=0.75, brownout_low=0.25, brownout_hold=1.0,
+                    client_ttl=600.0)
+    defaults.update(overrides)
+    return AdmissionController(AdmissionConfig(**defaults), clock=clock)
+
+
+class TestDecide:
+    def test_admit_then_throttle_then_recover(self):
+        clock = FakeClock()
+        ctl = controller(clock)
+        first = ctl.decide("alice", 80.0)
+        assert first.action == ADMIT
+        second = ctl.decide("alice", 80.0)
+        assert second.action == THROTTLE
+        assert second.retry_after == pytest.approx(6.0)  # (80-20)/10
+        clock.advance(second.retry_after)
+        assert ctl.decide("alice", 80.0).action == ADMIT
+        assert ctl.throttled == 1 and ctl.admitted == 2
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        ctl = controller(clock)
+        ctl.decide("alice", 100.0)
+        assert ctl.decide("alice", 50.0).action == THROTTLE
+        assert ctl.decide("bob", 50.0).action == ADMIT
+
+    def test_shed_on_queue_cost_watermark(self):
+        clock = FakeClock()
+        ctl = controller(clock, max_queue_cost=100.0, burst=1000.0)
+        admitted = ctl.decide("alice", 90.0)
+        ctl.register(admitted)
+        refused = ctl.decide("bob", 20.0)
+        assert refused.action == SHED
+        assert refused.retry_after >= ctl.config.brownout_hold
+        assert ctl.shed == 1
+        # settling the admitted job reopens the gate
+        ctl.settle(admitted)
+        assert ctl.decide("bob", 20.0).action == ADMIT
+
+    def test_shed_on_queue_depth_watermark(self):
+        clock = FakeClock()
+        ctl = controller(clock, max_queue_depth=1, burst=10000.0,
+                         max_queue_cost=100000.0)
+        ctl.register(ctl.decide("alice", 10.0))
+        assert ctl.decide("bob", 10.0).action == SHED
+
+    def test_cheap_jobs_pass_the_watermarks(self):
+        clock = FakeClock()
+        ctl = controller(clock, max_queue_cost=100.0, burst=1000.0)
+        ctl.register(ctl.decide("alice", 99.0))
+        cheap = ctl.decide("bob", 4.0)  # <= cheap_cost
+        assert cheap.action == ADMIT
+        assert cheap.cost_class == "cheap"
+
+    def test_dedup_bypasses_shedding_and_pays_nominal_cost(self):
+        clock = FakeClock()
+        ctl = controller(clock, max_queue_cost=100.0, burst=1000.0)
+        ctl.register(ctl.decide("alice", 99.0))
+        attach = ctl.decide("bob", 500.0, dedup=True)
+        assert attach.action == ADMIT
+        assert attach.cost == DEDUP_COST
+        # dedup attaches never register queue cost
+        ctl.register(attach)
+        assert ctl.queue_cost == pytest.approx(99.0)
+        assert ctl.queue_depth == 1
+
+    def test_register_and_settle_are_idempotent_and_balanced(self):
+        clock = FakeClock()
+        ctl = controller(clock, burst=1000.0)
+        decision = ctl.decide("alice", 60.0)
+        ctl.register(decision)
+        ctl.register(decision)  # double-register is a no-op
+        assert ctl.queue_cost == pytest.approx(60.0)
+        assert ctl.queue_cost_by_class["standard"] == pytest.approx(60.0)
+        ctl.settle(decision)
+        ctl.settle(decision)  # double-settle is a no-op
+        ctl.settle(None)  # settling an unadmitted submission is fine
+        assert ctl.queue_cost == 0.0
+        assert ctl.queue_depth == 0
+
+    def test_rejected_decisions_never_register(self):
+        clock = FakeClock()
+        ctl = controller(clock)
+        ctl.decide("alice", 100.0)
+        refused = ctl.decide("alice", 100.0)
+        assert refused.action == THROTTLE
+        ctl.register(refused)
+        assert ctl.queue_cost == 0.0
+
+    def test_idle_clients_are_evicted_after_ttl(self):
+        clock = FakeClock()
+        ctl = controller(clock, client_ttl=60.0)
+        ctl.decide("alice", 1.0)
+        assert ctl.snapshot()["active_clients"] == 1
+        clock.advance(61.0)
+        ctl.decide("bob", 1.0)
+        assert set(ctl._buckets) == {"bob"}
+
+    def test_classify_boundaries(self):
+        ctl = controller(FakeClock())
+        assert ctl.classify(5.0) == "cheap"
+        assert ctl.classify(5.1) == "standard"
+        assert ctl.classify(50.0) == "heavy"  # >= burst / 2
+
+
+# ----------------------------------------------------------------------
+# Brownout hysteresis
+# ----------------------------------------------------------------------
+class TestBrownout:
+    def saturated(self, clock, **overrides):
+        """A controller whose queue sits above the high watermark."""
+        ctl = controller(clock, max_queue_cost=100.0, burst=10000.0,
+                         **overrides)
+        heavy = ctl.decide("alice", 90.0)
+        ctl.register(heavy)
+        return ctl, heavy
+
+    def test_escalates_only_after_the_hold_period(self):
+        clock = FakeClock()
+        ctl, _ = self.saturated(clock)
+        assert ctl.brownout_state() == "normal"  # arms the timer
+        clock.advance(0.5)
+        assert ctl.brownout_state() == "normal"  # hold not yet served
+        clock.advance(0.6)
+        assert ctl.brownout_state() == "degraded"
+        clock.advance(1.1)
+        assert ctl.brownout_state() == "cache_only"
+        clock.advance(10.0)
+        assert ctl.brownout_state() == "cache_only"  # no level past the floor
+
+    def test_band_between_watermarks_resets_the_timers(self):
+        clock = FakeClock()
+        ctl, heavy = self.saturated(clock)
+        ctl.brownout_state()
+        clock.advance(0.9)  # almost escalated …
+        ctl.settle(heavy)
+        mid = ctl.decide("alice", 50.0)  # pressure 0.5: inside the band
+        ctl.register(mid)
+        ctl.brownout_state()
+        clock.advance(0.9)
+        # saturate again: the hold starts over instead of resuming at 0.9
+        ctl.register(ctl.decide("bob", 45.0))
+        ctl.brownout_state()
+        clock.advance(0.5)
+        assert ctl.brownout_state() == "normal"
+
+    def test_recovery_needs_the_low_watermark_held(self):
+        clock = FakeClock()
+        ctl, heavy = self.saturated(clock)
+        ctl.brownout_state()
+        clock.advance(1.1)
+        assert ctl.brownout_state() == "degraded"
+        ctl.settle(heavy)  # pressure 0.0
+        clock.advance(0.5)
+        assert ctl.brownout_state() == "degraded"  # hold not served yet
+        clock.advance(0.6)
+        assert ctl.brownout_state() == "normal"
+        snap = ctl.snapshot()["brownout"]
+        assert snap["engaged"] == 1 and snap["cleared"] == 1
+
+    def test_cache_only_refuses_cold_work_but_not_cached_or_cheap(self):
+        clock = FakeClock()
+        ctl, _ = self.saturated(clock, cheap_cost=5.0)
+        ctl.brownout_state()
+        clock.advance(1.1)
+        ctl.brownout_state()
+        clock.advance(1.1)
+        assert ctl.brownout_state() == "cache_only"
+        cold = ctl.decide("bob", 50.0)
+        assert cold.action == CACHE_ONLY
+        assert cold.retry_after >= 1.0
+        assert ctl.cache_only_rejects == 1
+        assert ctl.decide("bob", 2.0).action == ADMIT  # cheap
+        assert ctl.decide("bob", 50.0, dedup=True).action == ADMIT
+        # a submission that collapses to a disk read is priced cheap by the
+        # cost model, but even a heavier cached estimate may pass the floor
+        assert ctl.decide("bob", 50.0, cached=True).action != CACHE_ONLY
+
+
+# ----------------------------------------------------------------------
+# Spec-level client plumbing (no server needed)
+# ----------------------------------------------------------------------
+class TestClientSpecField:
+    def test_client_field_parses_and_round_trips(self):
+        spec = parse_job_spec(
+            {"circuit": "majority", "width": 5, "client": "team-a.web_1"}
+        )
+        assert spec.client == "team-a.web_1"
+        assert spec.payload()["client"] == "team-a.web_1"
+
+    def test_client_does_not_change_the_dedup_digest(self):
+        base = parse_job_spec({"circuit": "majority", "width": 5})
+        tagged = parse_job_spec(
+            {"circuit": "majority", "width": 5, "client": "alice"}
+        )
+        assert base.digest() == tagged.digest()
+
+    @pytest.mark.parametrize("bad", ["", "spaces here", "semi;colon", "x" * 65, 7])
+    def test_invalid_client_values_rejected(self, bad):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({"circuit": "majority", "width": 5, "client": bad})
+        assert excinfo.value.detail["field"] == "client"
+
+
+# ----------------------------------------------------------------------
+# End to end: the HTTP 429 contract
+# ----------------------------------------------------------------------
+#: comparator-13 costs ~60 units; comparator-12 ~21.  rate=1 means a
+#: throttled client waits tens of seconds — far past any test timing.
+TIGHT_QUOTA = AdmissionConfig(rate=1.0, burst=25.0, cheap_cost=5.0)
+
+
+class TestServiceAdmission:
+    def test_heavy_client_throttled_while_light_client_unaffected(self, tmp_path):
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=TIGHT_QUOTA) as handle:
+            status, body, _ = post_spec_raw(
+                handle.base_url, {"circuit": "comparator", "width": 12},
+                headers={"X-Repro-Client": "hog"},
+            )
+            assert status == 200 and body["state"] == "done"
+
+            status, body, headers = post_spec_raw(
+                handle.base_url, {"circuit": "comparator", "width": 13},
+                headers={"X-Repro-Client": "hog"},
+            )
+            assert status == 429
+            detail = body["error"]
+            assert detail["type"] == "ClientThrottled"
+            assert detail["client"] == "hog"
+            assert detail["estimated_cost"] == pytest.approx(
+                estimate_cost("comparator", 13), rel=1e-6
+            )
+            assert detail["retry_after_seconds"] >= 1
+            assert int(headers["Retry-After"]) == detail["retry_after_seconds"]
+
+            # A different client's cheap work sails through the same server.
+            status, body, _ = post_spec_raw(
+                handle.base_url, {"circuit": "majority", "width": 5},
+                headers={"X-Repro-Client": "light"},
+            )
+            assert status == 200 and body["state"] == "done"
+
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            admission = metrics["admission"]
+            assert admission["enabled"] is True
+            assert admission["throttled"] == 1
+            assert admission["admitted"] == 2
+            assert admission["queue_cost"] == 0.0  # everything settled
+            assert admission["queue_depth"] == 0
+            assert admission["active_clients"] == 2
+
+    def test_spec_client_field_names_the_bucket(self, tmp_path):
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=TIGHT_QUOTA) as handle:
+            post_spec_raw(handle.base_url,
+                          {"circuit": "comparator", "width": 12, "client": "hog"})
+            status, body, _ = post_spec_raw(
+                handle.base_url,
+                {"circuit": "comparator", "width": 13, "client": "hog"},
+            )
+            assert status == 429
+            assert body["error"]["client"] == "hog"
+
+    def test_shed_and_dedup_bypass_under_a_tiny_queue(self, tmp_path):
+        config = AdmissionConfig(
+            max_queue_cost=1050.0, cheap_cost=5.0,
+            brownout_hold=300.0,  # keep brownout out of this test
+        )
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=config) as handle:
+            # A long job occupies ~1021 cost units of queue (delay is priced
+            # 1:1 per ms) — it fits under the 1050-unit watermark alone, but
+            # leaves no room for any further non-cheap work.
+            long_spec = {"circuit": "comparator", "width": 12, "delay_ms": 1000}
+            status, body, _ = post_spec_raw(handle.base_url, long_spec, wait=False)
+            assert status == 202
+            job_id = body["id"]
+
+            status, body, headers = post_spec_raw(
+                handle.base_url, {"circuit": "comparator", "width": 13}
+            )
+            assert status == 429
+            assert body["error"]["type"] == "AdmissionShed"
+            assert "Retry-After" in headers
+
+            # The identical in-flight spec attaches (dedup) instead of shedding.
+            status, body, _ = post_spec_raw(handle.base_url, long_spec, wait=False)
+            assert status == 202
+
+            # Cheap work still admits through the storm.
+            status, body, _ = post_spec_raw(
+                handle.base_url, {"circuit": "majority", "width": 5}
+            )
+            assert status == 200 and body["state"] == "done"
+
+            status, done = http_json(f"{handle.base_url}/jobs/{job_id}?wait=1")
+            assert done["state"] == "done"
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            assert metrics["admission"]["shed"] == 1
+            assert metrics["admission"]["queue_cost"] == 0.0
+
+    def test_brownout_strips_verify_and_recovers(self, tmp_path):
+        config = AdmissionConfig(
+            max_queue_cost=1600.0, cheap_cost=5.0,
+            brownout_high=0.5, brownout_low=0.2, brownout_hold=0.0,
+        )
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=config) as handle:
+            # ~1521 cost units of queue: pressure ≈ 0.95, past the 0.5 high
+            # watermark, while the job itself still fits under the cap.
+            long_spec = {"circuit": "comparator", "width": 12, "delay_ms": 1500}
+            status, body, _ = post_spec_raw(handle.base_url, long_spec, wait=False)
+            assert status == 202
+            job_id = body["id"]
+
+            # Metrics scrapes observe pressure; with hold=0 each scrape can
+            # advance the brownout one level.
+            deadline = time.time() + 10.0
+            state = "normal"
+            while time.time() < deadline and state == "normal":
+                _, metrics = http_json(f"{handle.base_url}/metrics")
+                state = metrics["admission"]["brownout"]["state"]
+                time.sleep(0.05)
+            assert state != "normal"
+
+            # A verify submission is degraded: optional work shed, job runs.
+            status, body, _ = post_spec_raw(
+                handle.base_url,
+                {"circuit": "majority", "width": 5, "verify": True},
+            )
+            assert status == 200 and body["state"] == "done"
+            assert body.get("degraded") is True
+            assert "verified" not in body["result"]
+
+            http_json(f"{handle.base_url}/jobs/{job_id}?wait=1")
+            # With the queue drained the scrapes walk the state back down.
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                _, metrics = http_json(f"{handle.base_url}/metrics")
+                if metrics["admission"]["brownout"]["state"] == "normal":
+                    break
+                time.sleep(0.05)
+            brownout = metrics["admission"]["brownout"]
+            assert brownout["state"] == "normal"
+            assert brownout["engaged"] >= 1
+            assert brownout["cleared"] >= 1
+            assert metrics["admission"]["degraded_jobs"] >= 1
+
+    def test_disabled_admission_is_a_pass_through(self, tmp_path):
+        config = AdmissionConfig(enabled=False, rate=0.001, burst=0.001)
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=config) as handle:
+            for _ in range(3):
+                status, body, _ = post_spec_raw(
+                    handle.base_url, {"circuit": "comparator", "width": 12},
+                    headers={"X-Repro-Client": "hog"},
+                )
+                assert status == 200
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            assert metrics["admission"]["enabled"] is False
+            assert metrics["admission"]["admitted"] == 0
+
+    def test_admit_fault_site_cannot_leak_queue_cost(self, tmp_path, monkeypatch):
+        # An I/O fault injected after the admit decision but before the
+        # queue books are touched: the request fails as a 500 and the
+        # accounting stays balanced, so the next submission is untouched.
+        monkeypatch.setenv(faults.ENV, "admission.admit:err@1")
+        faults.reset()
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0) as handle:
+            status, body, _ = post_spec_raw(
+                handle.base_url, {"circuit": "majority", "width": 5}
+            )
+            assert status == 500
+            status, body, _ = post_spec_raw(
+                handle.base_url, {"circuit": "majority", "width": 5}
+            )
+            assert status == 200 and body["state"] == "done"
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            assert metrics["admission"]["queue_cost"] == 0.0
+            assert metrics["admission"]["queue_depth"] == 0
+
+    def test_shed_fault_site_fires_on_rejection(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV, "admission.shed[hog]:exc@1")
+        faults.reset()
+        with ServiceThread(cache_dir=str(tmp_path / "store"), workers=0,
+                           admission=TIGHT_QUOTA) as handle:
+            post_spec_raw(handle.base_url, {"circuit": "comparator", "width": 12},
+                          headers={"X-Repro-Client": "hog"})
+            status, _, _ = post_spec_raw(
+                handle.base_url, {"circuit": "comparator", "width": 13},
+                headers={"X-Repro-Client": "hog"},
+            )
+            assert status == 500  # the injected fault pre-empts the 429
+            assert ("admission.shed", "exc", 1) in faults.snapshot()

@@ -1,0 +1,181 @@
+"""The width-weighted job cost model (`repro.engine.cost`).
+
+The admission layer and the batch scheduler only consume *orderings and
+ratios* from the model, so that is what the suite pins down:
+
+* monotonicity — more width, more outputs, more terms, more optional work
+  never makes the estimate smaller (property-tested);
+* fidelity — the estimates rank the benchcircuit quick-sweep specs in the
+  same order as the runtimes recorded in ``benchmarks/BENCH_native.json``
+  (pairs separated by a real margin; near-ties are not ranked);
+* the additive knobs (verify, synthesize, delay, cached) move the price
+  in the documented direction.
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cost import (
+    CACHED_COST,
+    CALIBRATION,
+    DEFAULT_COST,
+    MIN_COST,
+    SpecShape,
+    estimate_batch_job,
+    estimate_cost,
+    estimate_from_shape,
+    spec_shape,
+)
+from repro.service.jobs import CIRCUITS, MAX_WIDTH
+
+BENCH_NATIVE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "BENCH_native.json"
+)
+
+WIDTHS = list(range(1, MAX_WIDTH + 5))  # past the service ceiling on purpose
+
+
+# ----------------------------------------------------------------------
+# Monotonicity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"verify": True},
+        {"kind": "synthesize"},
+        {"kind": "synthesize", "verify": True},
+    ],
+    ids=["plain", "verify", "synthesize", "synthesize+verify"],
+)
+def test_estimate_monotone_in_width(circuit, kwargs):
+    costs = [estimate_cost(circuit, w, **kwargs) for w in WIDTHS]
+    assert all(a <= b for a, b in zip(costs, costs[1:])), (circuit, kwargs)
+    assert all(c >= MIN_COST for c in costs)
+
+
+@pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+def test_known_shapes_monotone_in_width(circuit):
+    shapes = [spec_shape(circuit, w) for w in WIDTHS]
+    assert all(s is not None for s in shapes)
+    for field in ("inputs", "outputs", "log2_terms"):
+        values = [getattr(s, field) for s in shapes]
+        assert all(a <= b for a, b in zip(values, values[1:])), (circuit, field)
+
+
+@given(
+    inputs=st.integers(min_value=0, max_value=256),
+    outputs=st.integers(min_value=1, max_value=128),
+    log2_terms=st.floats(min_value=0.0, max_value=40.0,
+                         allow_nan=False, allow_infinity=False),
+    bump_inputs=st.integers(min_value=0, max_value=64),
+    bump_outputs=st.integers(min_value=0, max_value=32),
+    bump_terms=st.floats(min_value=0.0, max_value=8.0,
+                         allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_shape_estimate_monotone_in_every_field(
+    inputs, outputs, log2_terms, bump_inputs, bump_outputs, bump_terms
+):
+    base = estimate_from_shape(SpecShape(inputs, outputs, log2_terms))
+    assert base >= MIN_COST
+    assert estimate_from_shape(
+        SpecShape(inputs + bump_inputs, outputs, log2_terms)) >= base
+    assert estimate_from_shape(
+        SpecShape(inputs, outputs + bump_outputs, log2_terms)) >= base
+    assert estimate_from_shape(
+        SpecShape(inputs, outputs, log2_terms + bump_terms)) >= base
+
+
+# ----------------------------------------------------------------------
+# Fidelity against the committed quick-sweep record
+# ----------------------------------------------------------------------
+def test_estimates_rank_benchcircuits_like_recorded_runtimes():
+    """Estimated costs must order the quick-sweep specs the way their
+    recorded runtimes do.
+
+    Only pairs whose recorded runtimes differ by a real margin are
+    compared: the quick sweep packs several circuits within ~10% of each
+    other, and demanding the model rank measurement noise would pin the
+    test to one machine's jitter rather than to the algorithmic weights.
+    """
+    record = json.loads(BENCH_NATIVE.read_text())
+    runs = [
+        (circuit, entry["width"], entry["seconds"])
+        for circuit, entry in record["circuits"].items()
+    ]
+    assert len(runs) >= 5, "quick sweep shrank — update the fidelity test"
+    margin = 1.2
+    compared = 0
+    for i, (circuit_a, width_a, seconds_a) in enumerate(runs):
+        for circuit_b, width_b, seconds_b in runs[i + 1:]:
+            if max(seconds_a, seconds_b) < margin * min(seconds_a, seconds_b):
+                continue  # a near-tie: noise, not signal
+            compared += 1
+            cost_a = estimate_cost(circuit_a, width_a)
+            cost_b = estimate_cost(circuit_b, width_b)
+            if seconds_a < seconds_b:
+                assert cost_a < cost_b, (
+                    f"{circuit_a}-{width_a} measured faster than "
+                    f"{circuit_b}-{width_b} but priced heavier")
+            else:
+                assert cost_b < cost_a, (
+                    f"{circuit_b}-{width_b} measured faster than "
+                    f"{circuit_a}-{width_a} but priced heavier")
+    assert compared >= 3, "margin filter left nothing to rank"
+
+
+def test_every_benchcircuit_family_is_calibrated():
+    assert set(CALIBRATION) == set(CIRCUITS)
+
+
+# ----------------------------------------------------------------------
+# The additive knobs
+# ----------------------------------------------------------------------
+def test_verify_and_synthesize_add_cost():
+    for circuit in CIRCUITS:
+        plain = estimate_cost(circuit, 8)
+        assert estimate_cost(circuit, 8, verify=True) > plain
+        assert estimate_cost(circuit, 8, kind="synthesize") > plain
+
+
+def test_delay_ms_adds_one_unit_per_millisecond():
+    base = estimate_cost("majority", 7)
+    assert estimate_cost("majority", 7, delay_ms=250) == pytest.approx(base + 250)
+
+
+def test_cached_jobs_price_as_a_record_load():
+    cold = estimate_cost("comparator", 12)
+    warm = estimate_cost("comparator", 12, cached=True)
+    assert warm == pytest.approx(CACHED_COST)
+    assert warm < cold
+    # verification still re-runs on a disk hit, priced off the build cost
+    assert estimate_cost("comparator", 12, cached=True, verify=True) > warm
+
+
+def test_unknown_circuit_gets_the_default_cost():
+    assert estimate_cost("mystery_circuit", 9) == DEFAULT_COST
+
+
+# ----------------------------------------------------------------------
+# The batch-job estimator (LPT dispatch in BatchOrchestrator)
+# ----------------------------------------------------------------------
+def test_batch_estimator_resolves_builder_families():
+    from repro.benchcircuits import adder_spec, comparator_spec
+
+    light = estimate_batch_job(adder_spec, (6,), {})
+    heavy = estimate_batch_job(comparator_spec, (15,), {})
+    assert heavy > light  # 3^15 terms vs a 6-bit adder
+
+
+def test_batch_estimator_defaults_for_unknown_builders():
+    def custom_builder(width):
+        raise AssertionError("must never be called for pricing")
+
+    assert estimate_batch_job(custom_builder, (9,), {}) == DEFAULT_COST
+    assert estimate_batch_job(custom_builder, (), {}) == DEFAULT_COST

@@ -258,3 +258,30 @@ class TestCacheCorruptionMetrics:
             assert second["result"]["decomposition_cached"] is False
             _, metrics = http_json(f"{handle.base_url}/metrics")
             assert metrics["cache"]["corrupt_records"] == 1
+
+
+# ----------------------------------------------------------------------
+# Quarantine map hygiene: expired digests are swept, not leaked
+# ----------------------------------------------------------------------
+class TestQuarantineSweep:
+    def test_expired_quarantine_entries_are_swept(self, tmp_path, monkeypatch):
+        arm_global(monkeypatch, tmp_path, "worker.job:kill%1")  # every attempt dies
+        with ServiceThread(workers=1, retry_base_delay=0.05,
+                           quarantine_ttl=0.4) as handle:
+            status, body = post_spec(
+                handle.base_url,
+                {"circuit": "majority", "width": 5, "max_retries": 0},
+                timeout=120.0,
+            )
+            assert body["state"] == "failed"
+            assert body["error_detail"]["type"] == "WorkerCrash"
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            assert metrics["reliability"]["quarantined_jobs"] == 1
+            assert metrics["reliability"]["quarantine_size"] == 1
+            # After the TTL the map is swept on the next scrape — even though
+            # the poisoned digest is never resubmitted (the old leak).
+            time.sleep(0.5)
+            _, metrics = http_json(f"{handle.base_url}/metrics")
+            assert metrics["reliability"]["quarantine_size"] == 0
+            # The cumulative counter is history, not a gauge: it stays.
+            assert metrics["reliability"]["quarantined_jobs"] == 1
